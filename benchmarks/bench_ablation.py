@@ -1,0 +1,17 @@
+"""Design-choice ablation bench (DESIGN.md section 5).
+
+Geometric vs Bernoulli vs uniform packet sampling vs one-array vs
+vanilla, at equal sampling rate and memory.
+"""
+
+from repro.experiments import ablation
+
+
+def test_ablation_series(benchmark):
+    result = benchmark.pedantic(ablation.run, kwargs={"scale": 0.05}, rounds=1)
+    rates = {row["variant"]: row["packet_rate_mpps"] for row in result.rows}
+    assert rates["nitro-geometric"] == max(rates.values())
+    errors = {row["variant"]: row["hh_error_pct"] for row in result.rows}
+    assert errors["uniform-sampling"] > errors["nitro-geometric"]
+    print()
+    print(result.render())

@@ -1,0 +1,67 @@
+"""Benches for the extension features: AlwaysLineRate adaptation,
+Theorem-2 validation, the Nitro-accelerated ElasticSketch light part,
+and sketch serialization for the control link."""
+
+from repro.baselines import ElasticSketch, NitroElasticSketch
+from repro.control import ControlLink, deserialize_sketch, serialize_sketch
+from repro.experiments import adaptive, validation
+from repro.sketches import CountSketch
+
+
+def test_adaptation_ladder(benchmark):
+    result = benchmark.pedantic(adaptive.run, kwargs={"scale": 0.5}, rounds=1)
+    burst = [r for r in result.rows if r["phase"] == "burst"]
+    assert burst[-1]["probability"] == 1 / 64
+    print()
+    print(result.render())
+
+
+def test_theorem2_validation(benchmark):
+    result = benchmark.pedantic(
+        validation.run, kwargs={"scale": 0.5, "trials": 15}, rounds=1
+    )
+    assert all(row["within_bound"] for row in result.rows)
+    print()
+    print(result.render())
+
+
+def test_vanilla_elastic_ingest(benchmark, caida_key_list):
+    def ingest():
+        sketch = ElasticSketch(heavy_buckets=8192, light_counters=65536, seed=1)
+        sketch.update_many(caida_key_list)
+        return sketch
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_nitro_elastic_ingest(benchmark, caida_key_list):
+    """Paper Section 5: NitroSketch accelerates ElasticSketch's light part."""
+    def ingest():
+        sketch = NitroElasticSketch(
+            heavy_buckets=8192, light_counters=65536, probability=0.05, seed=1
+        )
+        sketch.update_many(caida_key_list)
+        return sketch
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_sketch_serialization_roundtrip(benchmark):
+    sketch = CountSketch(5, 102400, seed=1)  # the paper's 2MB config
+    def roundtrip():
+        return deserialize_sketch(serialize_sketch(sketch))
+
+    clone = benchmark.pedantic(roundtrip, rounds=5)
+    payload = len(serialize_sketch(sketch))
+    link_seconds = ControlLink().transfer_seconds(payload)
+    print()
+    print(
+        "payload %.1f MB -> %.1f ms on the 1GbE control link "
+        "(bounds epoch frequency to %.0f/s)"
+        % (
+            payload / 2**20,
+            1000 * link_seconds,
+            ControlLink().max_epochs_per_second(payload),
+        )
+    )
+    assert clone.width == sketch.width

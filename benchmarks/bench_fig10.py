@@ -1,0 +1,18 @@
+"""Figure 10 bench: CPU usage of the integration modes."""
+
+from repro.experiments import fig10
+
+
+def test_fig10a(benchmark):
+    result = benchmark.pedantic(fig10.run_fig10a, kwargs={"scale": 0.01}, rounds=1)
+    nitro_rows = [r for r in result.rows if r["variant"] == "nitrosketch-AIO"]
+    assert all(r["sketch_cpu_pct"] < 20.0 for r in nitro_rows)
+    print()
+    print(result.render())
+
+
+def test_fig10b(benchmark):
+    result = benchmark.pedantic(fig10.run_fig10b, kwargs={"scale": 0.01}, rounds=1)
+    assert all(r["switch_core_pct"] > 90.0 for r in result.rows)
+    print()
+    print(result.render())

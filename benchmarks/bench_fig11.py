@@ -1,0 +1,49 @@
+"""Figure 11 bench: UnivMon accuracy vs epoch + AlwaysCorrect throughput.
+
+Micro-bench: vanilla vs Nitro UnivMon vectorised ingest (the real
+wall-clock speedup of whole-structure sampling).
+"""
+
+from repro.core import nitro_univmon
+from repro.experiments import fig11
+from repro.sketches import UnivMon
+
+
+def test_fig11a_series(benchmark):
+    result = benchmark.pedantic(fig11.run_fig11a, kwargs={"scale": 0.04}, rounds=1)
+    nitro = [r for r in result.rows if r["variant"] == "nitro p=0.1"]
+    assert nitro[-1]["hh_error_pct"] < nitro[0]["hh_error_pct"]
+    print()
+    print(result.render())
+
+
+def test_fig11b_series(benchmark):
+    result = benchmark.pedantic(fig11.run_fig11b, kwargs={"scale": 0.04}, rounds=1)
+    print()
+    print(result.render())
+
+
+def test_fig11c_alwayscorrect(benchmark):
+    result = benchmark.pedantic(fig11.run_fig11c, kwargs={"scale": 0.05}, rounds=1)
+    series = [r for r in result.rows if "Count-Sketch" in r["monitor"]]
+    assert series[-1]["throughput_gbps"] > series[0]["throughput_gbps"]
+    print()
+    print(result.render())
+
+
+def test_vanilla_univmon_batch_ingest(benchmark, caida_keys):
+    def ingest():
+        monitor = UnivMon(levels=14, depth=5, widths=10000, k=100, seed=2)
+        monitor.update_batch(caida_keys)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_nitro_univmon_batch_ingest(benchmark, caida_keys):
+    def ingest():
+        monitor = nitro_univmon(probability=0.01, seed=2)
+        monitor.update_batch(caida_keys)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)

@@ -1,0 +1,31 @@
+"""Figure 12 bench: per-sketch accuracy vs epoch + convergence theory."""
+
+from repro.experiments import fig12
+
+
+def test_fig12a_series(benchmark):
+    result = benchmark.pedantic(fig12.run_fig12a, kwargs={"scale": 0.04}, rounds=1)
+    nitro = [r for r in result.rows if r["variant"] == "nitro p=0.1"]
+    assert nitro[-1]["cs_hh_error_pct"] < nitro[0]["cs_hh_error_pct"]
+    print()
+    print(result.render())
+
+
+def test_fig12b_series(benchmark):
+    result = benchmark.pedantic(fig12.run_fig12b, kwargs={"scale": 0.04}, rounds=1)
+    print()
+    print(result.render())
+
+
+def test_fig12c_theory(benchmark):
+    result = benchmark.pedantic(fig12.run_fig12c, kwargs={"scale": 0.2}, rounds=1)
+    one_pct = [
+        r
+        for r in result.rows
+        if r["error_target_pct"] == 1.0
+        and r["l2_growth_source"] == "paper CAIDA anchors"
+    ]
+    packets = [r["convergence_packets"] for r in one_pct]
+    assert packets == sorted(packets, reverse=True)
+    print()
+    print(result.render())

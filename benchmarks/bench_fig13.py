@@ -1,0 +1,41 @@
+"""Figure 13 bench: SketchVisor and NetFlow/sFlow comparisons.
+
+Micro-bench: SketchVisor's fast-path scalar ingest vs NitroSketch's --
+the wall-clock counterpart of the in-memory Mpps comparison.
+"""
+
+from repro.baselines import SketchVisor
+from repro.core import nitro_univmon
+from repro.experiments import fig13
+
+
+def test_fig13a_series(benchmark):
+    result = benchmark.pedantic(fig13.run_fig13a, kwargs={"scale": 0.02}, rounds=1)
+    rates = {row["system"]: row["packet_rate_mpps"] for row in result.rows}
+    assert rates["NitroSketch(UnivMon)"] > rates["SketchVisor(100%)"]
+    print()
+    print(result.render())
+
+
+def test_fig13b_series(benchmark):
+    result = benchmark.pedantic(fig13.run_fig13b, kwargs={"scale": 0.02}, rounds=1)
+    print()
+    print(result.render())
+
+
+def test_sketchvisor_fastpath_ingest(benchmark, caida_key_list):
+    def ingest():
+        monitor = SketchVisor(fast_entries=900, fast_fraction=1.0, seed=4)
+        monitor.update_many(caida_key_list)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_nitro_univmon_scalar_ingest(benchmark, caida_key_list):
+    def ingest():
+        monitor = nitro_univmon(probability=0.01, seed=4)
+        monitor.update_many(caida_key_list)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)

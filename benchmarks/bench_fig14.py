@@ -1,0 +1,18 @@
+"""Figure 14 bench: HH errors, SketchVisor vs NitroSketch, three traces."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_series(benchmark):
+    result = benchmark.pedantic(fig14.run, kwargs={"scale": 0.01}, rounds=1)
+    biggest = max(row["epoch_packets"] for row in result.rows)
+    dc = [
+        r
+        for r in result.rows
+        if r["trace"] == "DC"
+        and r["epoch_packets"] == biggest
+        and r["system"] == "SketchVisor(100%)"
+    ][0]
+    assert dc["hh_error_pct"] < 5.0  # SketchVisor accurate on skewed DC
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Figure 15 bench: HH recall, NetFlow vs NitroSketch, three traces."""
+
+from repro.experiments import fig15
+
+
+def test_fig15_series(benchmark):
+    result = benchmark.pedantic(fig15.run, kwargs={"scale": 0.02}, rounds=1)
+    biggest = max(row["epoch_packets"] for row in result.rows)
+    for trace in ("CAIDA", "DDoS", "DC"):
+        rows = {
+            r["system"]: r["recall_pct"]
+            for r in result.rows
+            if r["trace"] == trace and r["epoch_packets"] == biggest
+        }
+        assert rows["NetFlow (0.01)"] > rows["NetFlow (0.001)"]
+    print()
+    print(result.render())

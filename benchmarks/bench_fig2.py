@@ -1,0 +1,40 @@
+"""Figure 2 bench: sketch packet rates on OVS-DPDK.
+
+Wall-clock micro-benchmarks compare the per-packet ingest cost of the
+vanilla sketches (the Figure-2 bars), and the experiment runner
+regenerates the figure's ordering from the cost model.
+"""
+
+from repro.experiments import fig2
+from repro.experiments.common import vanilla_monitor
+from repro.sketches import CountMinSketch, TrackedSketch
+
+
+def test_fig2_series(benchmark):
+    """Regenerate Figure 2 and assert its ordering."""
+    result = benchmark.pedantic(fig2.run, kwargs={"scale": 0.01}, rounds=1)
+    rates = {row["system"]: row["packet_rate_mpps"] for row in result.rows}
+    assert rates["UnivMon"] < rates["Count-Min"] < rates["OVS-DPDK"] <= rates["DPDK"]
+    print()
+    print(result.render())
+
+
+def test_vanilla_countmin_ingest(benchmark, caida_key_list):
+    """Wall-clock scalar ingest of the paper's Count-Min config."""
+    def ingest():
+        monitor = TrackedSketch(CountMinSketch(5, 10000, seed=3), k=100)
+        monitor.update_many(caida_key_list)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_vanilla_univmon_ingest(benchmark, caida_key_list):
+    """Wall-clock scalar ingest of the paper's UnivMon config (slowest bar)."""
+    def ingest():
+        monitor = vanilla_monitor("univmon", seed=3)
+        for key in caida_key_list[:10_000]:
+            monitor.update(key)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)

@@ -1,0 +1,41 @@
+"""Figure 3 bench: prior approaches vs flow count.
+
+(a) hashtable throughput collapse / sketch flatness; (b) ElasticSketch
+accuracy overflow.  Micro-bench: hashtable vs sketch ingest.
+"""
+
+from repro.baselines import ElasticSketch, HashTableMonitor
+from repro.experiments import fig3
+
+
+def test_fig3a_series(benchmark):
+    result = benchmark.pedantic(fig3.run_fig3a, kwargs={"scale": 0.0005}, rounds=1)
+    hashtable = [r for r in result.rows if r["system"] == "Hashtable"]
+    assert hashtable[0]["packet_rate_mpps"] > hashtable[-1]["packet_rate_mpps"]
+    print()
+    print(result.render())
+
+
+def test_fig3b_series(benchmark):
+    result = benchmark.pedantic(fig3.run_fig3b, kwargs={"scale": 0.0005}, rounds=1)
+    assert result.rows[-1]["light_saturated"]
+    print()
+    print(result.render())
+
+
+def test_hashtable_ingest(benchmark, caida_key_list):
+    def ingest():
+        table = HashTableMonitor()
+        table.update_many(caida_key_list)
+        return table
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_elastic_ingest(benchmark, caida_key_list):
+    def ingest():
+        sketch = ElasticSketch(heavy_buckets=8192, light_counters=65536, seed=1)
+        sketch.update_many(caida_key_list)
+        return sketch
+
+    benchmark.pedantic(ingest, rounds=3)

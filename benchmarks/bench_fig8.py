@@ -1,0 +1,61 @@
+"""Figure 8 bench: NitroSketch throughput on OVS/VPP/BESS.
+
+The wall-clock benches here demonstrate the *relative* speedup on real
+hardware: the NitroSketch ingest paths (scalar and batch) against the
+vanilla sketch, processing the same trace.
+"""
+
+from repro.core import nitro_countsketch
+from repro.experiments import fig8
+from repro.sketches import CountSketch, TrackedSketch
+
+
+def test_fig8a_series(benchmark):
+    result = benchmark.pedantic(fig8.run_fig8a, kwargs={"scale": 0.01}, rounds=1)
+    nitro_rows = [r for r in result.rows if r["variant"] == "nitrosketch"]
+    assert all(abs(r["throughput_gbps"] - 40.0) < 1.0 for r in nitro_rows)
+    print()
+    print(result.render())
+
+
+def test_fig8b_series(benchmark):
+    result = benchmark.pedantic(fig8.run_fig8b, kwargs={"scale": 0.01}, rounds=1)
+    print()
+    print(result.render())
+
+
+def test_fig8c_series(benchmark):
+    result = benchmark.pedantic(fig8.run_fig8c, kwargs={"scale": 0.01}, rounds=1)
+    assert all(abs(r["throughput_gbps"] - 40.0) < 1.0 for r in result.rows)
+    print()
+    print(result.render())
+
+
+def test_vanilla_cs_scalar_ingest(benchmark, caida_key_list):
+    """Baseline for the wall-clock speedup comparison."""
+    def ingest():
+        monitor = TrackedSketch(CountSketch(5, 102400, seed=1), k=100)
+        monitor.update_many(caida_key_list)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_nitro_cs_scalar_ingest(benchmark, caida_key_list):
+    """NitroSketch scalar path: most packets cost one decrement."""
+    def ingest():
+        monitor = nitro_countsketch(probability=0.01, seed=1)
+        monitor.update_many(caida_key_list)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)
+
+
+def test_nitro_cs_batch_ingest(benchmark, caida_keys):
+    """NitroSketch vectorised path (Idea D analogue)."""
+    def ingest():
+        monitor = nitro_countsketch(probability=0.01, seed=1)
+        monitor.update_batch(caida_keys)
+        return monitor
+
+    benchmark.pedantic(ingest, rounds=3)

@@ -1,0 +1,43 @@
+"""Figure 9 bench: memory/throughput trade-off and component ablation.
+
+Micro-benches measure the wall-clock effect of Idea B directly:
+geometric skipping vs per-row Bernoulli coin flips on the same stream.
+"""
+
+from repro.core import NitroConfig, NitroSketch
+from repro.experiments import fig9
+from repro.sketches import CountSketch
+
+
+def test_fig9a_series(benchmark):
+    result = benchmark.pedantic(fig9.run_fig9a, kwargs={"scale": 0.01}, rounds=1)
+    for target in (3.0, 5.0):
+        series = [r for r in result.rows if r["error_target_pct"] == target]
+        assert series[-1]["packet_rate_mpps"] > series[0]["packet_rate_mpps"]
+    print()
+    print(result.render())
+
+
+def test_fig9b_ablation(benchmark):
+    result = benchmark.pedantic(fig9.run_fig9b, kwargs={"scale": 0.01}, rounds=1)
+    capacities = [row["capacity_mpps"] for row in result.rows]
+    assert capacities[-1] > 3 * capacities[0]
+    print()
+    print(result.render())
+
+
+def _scalar_ingest(sampling, keys):
+    config = NitroConfig(probability=0.01, seed=5, sampling=sampling, top_k=100)
+    monitor = NitroSketch(CountSketch(5, 16384, seed=5), config)
+    monitor.update_many(keys)
+    return monitor
+
+
+def test_geometric_sampling_ingest(benchmark, caida_key_list):
+    """Idea B: one PRNG draw per sampled slot."""
+    benchmark.pedantic(lambda: _scalar_ingest("geometric", caida_key_list), rounds=3)
+
+
+def test_bernoulli_sampling_ingest(benchmark, caida_key_list):
+    """Idea A without Idea B: d coin flips per packet."""
+    benchmark.pedantic(lambda: _scalar_ingest("bernoulli", caida_key_list), rounds=3)

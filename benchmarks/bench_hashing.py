@@ -1,0 +1,44 @@
+"""Hashing micro-benchmarks.
+
+Table 2 shows hashing is the dominant sketch cost, and Idea D's batch
+processing is the paper's answer.  These benches quantify both on real
+hardware: scalar vs vectorised xxhash32, and the multiply-shift family
+(default) vs the xxhash family (the C implementation's) as sketch row
+hashes.
+"""
+
+import numpy as np
+
+from repro.hashing.families import MultiplyShiftHash
+from repro.hashing.rowhash import XXHashRowHash
+from repro.hashing.xxhash import xxhash32_batch, xxhash32_u64
+
+
+KEYS = np.arange(100_000, dtype=np.uint64)
+
+
+def test_xxhash32_scalar(benchmark):
+    """Per-key Python xxhash32 (the paper's per-packet hash cost)."""
+    keys = KEYS[:5_000]
+
+    def run():
+        return [xxhash32_u64(int(k)) for k in keys]
+
+    benchmark(run)
+
+
+def test_xxhash32_batch(benchmark):
+    """Vectorised xxhash32 (Idea-D's AVX analogue)."""
+    benchmark(lambda: xxhash32_batch(KEYS))
+
+
+def test_multiply_shift_batch(benchmark):
+    """The default row-hash family, vectorised."""
+    hash_fn = MultiplyShiftHash(102400, seed=1)
+    benchmark(lambda: hash_fn.batch(KEYS))
+
+
+def test_xxhash_rowhash_batch(benchmark):
+    """The xxhash row-hash family, vectorised."""
+    hash_fn = XXHashRowHash(102400, seed=1)
+    benchmark(lambda: hash_fn.batch(KEYS))

@@ -1,0 +1,11 @@
+"""Table 1 bench: existing solutions on OVS-DPDK."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1.run, kwargs={"scale": 0.01}, rounds=1)
+    rates = {row["solution"]: row["ovs_packet_rate_mpps"] for row in result.rows}
+    assert rates["NitroSketch"] == max(rates.values())
+    print()
+    print(result.render())

@@ -1,0 +1,11 @@
+"""Table 2 bench: CPU hotspot breakdown of UnivMon on OVS-DPDK."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2.run, kwargs={"scale": 0.01}, rounds=1)
+    shares = {row["function"]: row["cpu_share_pct"] for row in result.rows}
+    assert shares["xxhash32 (hash computations)"] == max(shares.values())
+    print()
+    print(result.render())

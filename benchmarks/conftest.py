@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench uses small scales so the full suite finishes in minutes;
+``python -m repro.experiments.<fig> --scale 1.0``-style invocations of
+the experiment modules produce the full-size numbers recorded in
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traffic import caida_like, min_sized_stress
+
+
+@pytest.fixture(scope="session")
+def caida_trace():
+    """A 200k-packet CAIDA-like trace shared across benches."""
+    return caida_like(200_000, n_flows=40_000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def stress_trace():
+    """A 100k-packet min-sized stress trace."""
+    return min_sized_stress(100_000, n_flows=10_000, seed=2)
+
+
+@pytest.fixture(scope="session")
+def caida_keys(caida_trace):
+    return caida_trace.keys
+
+
+@pytest.fixture(scope="session")
+def caida_key_list(caida_trace):
+    """Python-list view for scalar-loop benches."""
+    return caida_trace.keys[:50_000].tolist()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Change detection across epochs with a Nitro-accelerated K-ary sketch.
+
+K-ary sketches are linear: subtracting two same-seed epoch sketches
+gives a sketch of the *traffic difference*, whose heavy flows are the
+heavy changers (paper task "Change Detection", refs [51, 68]).  This
+example synthesises churn -- 25% of flows change identity between
+epochs -- and shows the detector catching the big movers while
+NitroSketch keeps per-packet work at ~1% of vanilla.
+
+Run:  python examples/change_detection.py
+"""
+
+from repro.control import KAryChangeMonitor
+from repro.core import nitro_kary
+from repro.metrics import change_truth, recall
+from repro.traffic import caida_like, remap_flows
+from repro.traffic.flows import true_counts
+
+EPOCH_PACKETS = 500_000
+CHURN = 0.25
+THRESHOLD_FRACTION = 0.001
+
+
+def main() -> None:
+    base = caida_like(2 * EPOCH_PACKETS, n_flows=50_000, seed=21)
+    first_keys = base.keys[:EPOCH_PACKETS]
+    # Second epoch: same traffic mix, but a quarter of the flows change
+    # identity (sessions ending / starting) -- the heavy ones among them
+    # are the changers we want to catch.
+    second_keys = remap_flows(base.keys[EPOCH_PACKETS:], CHURN)
+
+    monitor_a = KAryChangeMonitor(nitro_kary(probability=0.01, top_k=500, seed=21))
+    monitor_b = KAryChangeMonitor(nitro_kary(probability=0.01, top_k=500, seed=21))
+    monitor_a.update_batch(first_keys)
+    monitor_b.update_batch(second_keys)
+
+    threshold = THRESHOLD_FRACTION * EPOCH_PACKETS
+    detected = monitor_b.change_detection(monitor_a, threshold)
+
+    counts_first = true_counts(first_keys)
+    counts_second = true_counts(second_keys)
+    truth = change_truth(counts_first, counts_second, THRESHOLD_FRACTION)
+
+    print(
+        "epochs of %d packets, %.0f%% flow churn: %d true heavy changers"
+        % (EPOCH_PACKETS, 100 * CHURN, len(truth))
+    )
+    print(
+        "detected %d changers, recall %.1f%%"
+        % (len(detected), 100 * recall({key for key, _ in detected}, truth))
+    )
+    print("top detected changes (flow, |delta| estimate vs truth):")
+    for key, delta in detected[:8]:
+        true_delta = abs(counts_second.get(key, 0) - counts_first.get(key, 0))
+        print("  flow %12d:  est %8.0f   true %8d" % (key, delta, true_delta))
+
+
+if __name__ == "__main__":
+    main()

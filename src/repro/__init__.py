@@ -1,0 +1,66 @@
+"""NitroSketch reproduction (SIGCOMM 2019).
+
+A full-system reproduction of *NitroSketch: Robust and General
+Sketch-based Monitoring in Software Switches* (Liu, Ben-Basat, Einziger,
+Kassner, Braverman, Friedman, Sekar).
+
+Quick start::
+
+    from repro import NitroSketch, CountSketch
+    from repro.traffic import caida_like
+
+    trace = caida_like(1_000_000, n_flows=100_000)
+    nitro = NitroSketch(CountSketch(5, 65536), probability=0.01, top_k=100)
+    nitro.update_batch(trace.keys)
+    hitters = nitro.heavy_hitters(threshold=0.0005 * len(trace))
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` -- NitroSketch itself (Algorithm 1).
+* :mod:`repro.sketches` -- the vanilla sketches it accelerates.
+* :mod:`repro.hashing` -- hash families, xxhash32, PRNGs.
+* :mod:`repro.baselines` -- SketchVisor, ElasticSketch, NetFlow, ...
+* :mod:`repro.switchsim` -- OVS/VPP/BESS simulator + cycle cost model.
+* :mod:`repro.traffic` -- trace synthesis and replay.
+* :mod:`repro.control` -- epochs and measurement tasks.
+* :mod:`repro.metrics` -- accuracy metrics and operation counting.
+* :mod:`repro.analysis` -- the paper's theorems as code.
+* :mod:`repro.experiments` -- one runner per paper figure/table.
+"""
+
+from repro.core import (
+    NitroSketch,
+    NitroConfig,
+    NitroMode,
+    GeometricSampler,
+    nitro_countmin,
+    nitro_countsketch,
+    nitro_kary,
+    nitro_univmon,
+)
+from repro.sketches import (
+    CountMinSketch,
+    CountSketch,
+    KArySketch,
+    UnivMon,
+    TopK,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NitroSketch",
+    "NitroConfig",
+    "NitroMode",
+    "GeometricSampler",
+    "nitro_countmin",
+    "nitro_countsketch",
+    "nitro_kary",
+    "nitro_univmon",
+    "CountMinSketch",
+    "CountSketch",
+    "KArySketch",
+    "UnivMon",
+    "TopK",
+    "__version__",
+]

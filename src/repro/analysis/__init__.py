@@ -1,0 +1,50 @@
+"""Closed-form theory from the paper (Section 5, Appendices A and B).
+
+:mod:`repro.analysis.theory` parameterises the NitroSketch guarantees
+(Theorems 1, 2 and 5) -- sketch sizing, convergence thresholds, and
+convergence-time predictions -- and :mod:`repro.analysis.comparison`
+implements the Appendix-B space bounds for uniform packet sampling so the
+benches can contrast the two analytically as well as empirically.
+"""
+
+from repro.analysis.theory import (
+    linerate_width,
+    alwayscorrect_width,
+    countmin_width,
+    sketch_depth,
+    convergence_threshold,
+    l2_convergence_requirement,
+    guaranteed_convergence_packets,
+    nitro_space_counters,
+    expected_sampled_rows_per_packet,
+)
+from repro.analysis.empirical import (
+    l2_of_prefix,
+    l2_growth_curve,
+    fit_l2_growth,
+    measured_convergence_packets,
+)
+from repro.analysis.comparison import (
+    uniform_sampling_space_counters,
+    one_array_space_counters,
+    space_ratio_uniform_vs_nitro,
+)
+
+__all__ = [
+    "linerate_width",
+    "alwayscorrect_width",
+    "countmin_width",
+    "sketch_depth",
+    "convergence_threshold",
+    "l2_convergence_requirement",
+    "guaranteed_convergence_packets",
+    "nitro_space_counters",
+    "expected_sampled_rows_per_packet",
+    "uniform_sampling_space_counters",
+    "one_array_space_counters",
+    "space_ratio_uniform_vs_nitro",
+    "l2_of_prefix",
+    "l2_growth_curve",
+    "fit_l2_growth",
+    "measured_convergence_packets",
+]

@@ -1,0 +1,62 @@
+"""Appendix-B space comparison: NitroSketch vs uniform packet sampling.
+
+Theorem 12 of the paper: feeding a uniformly ``p``-sampled stream into a
+Count Sketch requires
+
+    w = Omega( eps^-2 p^-1  +  eps^-2 p^-1.5 m^-0.5 sqrt(log 1/delta) )
+
+counters per row (so ``Omega(eps^-2 p^-1 log 1/delta +
+eps^-2 p^-1.5 m^-0.5 log^1.5 1/delta)`` total), whereas NitroSketch needs
+only ``O(eps^-2 p^-1 log 1/delta)`` total.  The asymptotic gap is a
+multiplicative ``log 1/delta`` factor in the worst case.
+
+These functions evaluate both bounds (with unit constants, since the
+paper states them asymptotically) so benches can plot the analytical gap
+alongside the measured accuracy gap.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def uniform_sampling_space_counters(
+    epsilon: float, delta: float, probability: float, stream_length: float
+) -> float:
+    """Theorem 12 lower bound on total counters for uniform sampling."""
+    if stream_length <= 0:
+        raise ValueError("stream length must be positive")
+    if not 0 < probability <= 1:
+        raise ValueError("probability must be in (0, 1]")
+    log_term = math.log(1.0 / delta)
+    first = (epsilon**-2) * (probability**-1) * log_term
+    second = (
+        (epsilon**-2)
+        * (probability**-1.5)
+        * (stream_length**-0.5)
+        * (log_term**1.5)
+    )
+    return first + second
+
+
+def one_array_space_counters(epsilon: float, delta: float) -> float:
+    """Strawman-1 (one-array Count Sketch) counters: ``eps^-2 / delta``."""
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return (epsilon**-2) / delta
+
+
+def space_ratio_uniform_vs_nitro(
+    epsilon: float, delta: float, probability: float, stream_length: float
+) -> float:
+    """How much more space uniform sampling needs than NitroSketch.
+
+    Ratio of the Theorem-12 bound to NitroSketch's
+    ``eps^-2 p^-1 log(1/delta)`` (unit constants).  Always >= 1, and grows
+    as ``sqrt(log(1/delta) / (p * m))`` dominates.
+    """
+    nitro = (epsilon**-2) * (probability**-1) * math.log(1.0 / delta)
+    uniform = uniform_sampling_space_counters(epsilon, delta, probability, stream_length)
+    return uniform / nitro

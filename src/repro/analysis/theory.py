@@ -1,0 +1,132 @@
+"""NitroSketch theory: sizing rules and convergence math (Section 5).
+
+Every formula here is stated in the paper:
+
+* **Theorem 1** (Nitro + Count-Min, eps*L1): ``d = log2(1/delta)``,
+  ``w = 4 / eps``, valid once ``L1 >= c * eps^-2 p^-1 sqrt(log 1/delta)``.
+* **Theorem 2** (AlwaysLineRate Nitro + Count Sketch, eps*L2):
+  ``w = 8 eps^-2 p^-1``, ``d = O(log 1/delta)``, valid once
+  ``L2 >= 8 eps^-2 p^-1``.
+* **Theorem 5 / Lemma 6** (AlwaysCorrect): ``w = 11 eps^-2 p^-1`` and the
+  data-plane convergence test (Algorithm 1 line 11):
+  ``T = 121 (1 + eps sqrt(p)) eps^-4 p^-2``, checked as
+  ``median_i sum_y C_{i,y}^2 > T``.
+* **Convergence time in practice** (end of Section 5): the CAIDA trace's
+  L2 grows roughly like ``a * sqrt(m)`` on heavy-tailed traffic, so the
+  packet count needed to reach ``L2 >= 8 eps^-2 p^-1`` can be predicted
+  from a trace's fitted L2 growth -- used for Figure 12(c).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _validate_eps_delta_p(epsilon: float, delta: float, probability: float) -> None:
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1), got %r" % (epsilon,))
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1), got %r" % (delta,))
+    if not 0 < probability <= 1:
+        raise ValueError("probability must be in (0, 1], got %r" % (probability,))
+
+
+def sketch_depth(delta: float) -> int:
+    """Rows needed for failure probability ``delta``: ``ceil(log2 1/delta)``."""
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1), got %r" % (delta,))
+    return max(1, int(math.ceil(math.log2(1.0 / delta))))
+
+
+def countmin_width(epsilon: float) -> int:
+    """Theorem 1 width for Nitro + Count-Min: ``w = 4 / eps``."""
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1), got %r" % (epsilon,))
+    return int(math.ceil(4.0 / epsilon))
+
+
+def linerate_width(epsilon: float, probability: float) -> int:
+    """Theorem 2 width for AlwaysLineRate Nitro: ``w = 8 eps^-2 p^-1``."""
+    _validate_eps_delta_p(epsilon, 0.5, probability)
+    return int(math.ceil(8.0 / (epsilon * epsilon * probability)))
+
+
+def alwayscorrect_width(epsilon: float, probability: float) -> int:
+    """Theorem 5 width for AlwaysCorrect Nitro: ``w = 11 eps^-2 p^-1``."""
+    _validate_eps_delta_p(epsilon, 0.5, probability)
+    return int(math.ceil(11.0 / (epsilon * epsilon * probability)))
+
+
+def convergence_threshold(epsilon: float, probability: float) -> float:
+    """AlwaysCorrect convergence threshold (Algorithm 1 line 11).
+
+    ``T = 121 (1 + eps sqrt(p)) eps^-4 p^-2``.  Once the median row sum of
+    squared counters exceeds T, Lemma 6 guarantees
+    ``L2 >= 11 eps^-2 p^-1`` with probability ``1 - delta`` and sampling
+    can begin.
+    """
+    _validate_eps_delta_p(epsilon, 0.5, probability)
+    return (
+        121.0
+        * (1.0 + epsilon * math.sqrt(probability))
+        / (epsilon**4 * probability**2)
+    )
+
+
+def l2_convergence_requirement(epsilon: float, probability: float) -> float:
+    """Minimum stream L2 for Theorem 2 to apply: ``8 eps^-2 p^-1``."""
+    _validate_eps_delta_p(epsilon, 0.5, probability)
+    return 8.0 / (epsilon * epsilon * probability)
+
+
+def guaranteed_convergence_packets(
+    epsilon: float,
+    probability: float,
+    l2_growth_coefficient: float,
+    l2_growth_exponent: float = 0.5,
+) -> float:
+    """Packets until guaranteed convergence on a trace with fitted L2 growth.
+
+    Models the trace's second norm as ``L2(m) = a * m**b`` (the paper
+    cites CAIDA 2016: L2 ~= 1.28e6 at 10M packets and 1.03e7 at 100M,
+    i.e. ``b ~= 0.9``; pure uniform traffic has ``b = 0.5``).  Solves
+    ``L2(m) >= 8 eps^-2 p^-1`` for ``m``.
+    """
+    if l2_growth_coefficient <= 0:
+        raise ValueError("growth coefficient must be positive")
+    if l2_growth_exponent <= 0:
+        raise ValueError("growth exponent must be positive")
+    requirement = l2_convergence_requirement(epsilon, probability)
+    return (requirement / l2_growth_coefficient) ** (1.0 / l2_growth_exponent)
+
+
+def caida_l2_growth_coefficient() -> tuple:
+    """The (a, b) fit of ``L2 = a * m**b`` to the paper's CAIDA anchors.
+
+    Section 5 reports L2 ~= 1.28e6 at m = 10M and ~= 1.03e7 at m = 100M.
+    Returns the exact two-point power-law fit.
+    """
+    m1, l1 = 10e6, 1.28e6
+    m2, l2 = 100e6, 1.03e7
+    exponent = math.log(l2 / l1) / math.log(m2 / m1)
+    coefficient = l1 / (m1**exponent)
+    return coefficient, exponent
+
+
+def nitro_space_counters(epsilon: float, delta: float, probability: float) -> int:
+    """Total NitroSketch counters: ``O(eps^-2 p^-1 log 1/delta)``."""
+    _validate_eps_delta_p(epsilon, delta, probability)
+    return linerate_width(epsilon, probability) * sketch_depth(delta)
+
+
+def expected_sampled_rows_per_packet(depth: int, probability: float) -> float:
+    """Expected bottleneck operations per packet under row sampling: ``d*p``.
+
+    This is the quantity NitroSketch drives below 1 (paper: "the expected
+    number of sampled counter arrays per packet is dp = o(1)").
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if not 0 < probability <= 1:
+        raise ValueError("probability must be in (0, 1]")
+    return depth * probability

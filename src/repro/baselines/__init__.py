@@ -1,0 +1,31 @@
+"""Comparison systems from the paper's related work (Section 2, Table 1).
+
+* :class:`HashTableMonitor` -- the "small hash tables suffice" approach of
+  Alipourfard et al. [1, 2]; exact but not robust to many flows.
+* :class:`SketchVisor` -- fast-path (improved Misra-Gries) + normal-path
+  sketch with control-plane merge [43].
+* :class:`ElasticSketch` -- heavy part (vote-based buckets) + Count-Min
+  light part [73].
+* :class:`NetFlowMonitor` / :class:`SFlowMonitor` -- packet-sampled flow
+  records, the default monitoring tools on OVS/VPP [21, 71].
+* :class:`RandomizedHHH` -- R-HHH, O(1)-update hierarchical heavy
+  hitters [8].
+"""
+
+from repro.baselines.hashtable import HashTableMonitor
+from repro.baselines.sketchvisor import SketchVisor, FastPathEntry
+from repro.baselines.elastic import ElasticSketch, NitroElasticSketch
+from repro.baselines.netflow import NetFlowMonitor, SFlowMonitor
+from repro.baselines.rhhh import RandomizedHHH, HierarchicalHeavyHitters
+
+__all__ = [
+    "HashTableMonitor",
+    "SketchVisor",
+    "FastPathEntry",
+    "ElasticSketch",
+    "NitroElasticSketch",
+    "NetFlowMonitor",
+    "SFlowMonitor",
+    "RandomizedHHH",
+    "HierarchicalHeavyHitters",
+]

@@ -1,0 +1,230 @@
+"""Command-line interface: ``nitrosketch <subcommand>``.
+
+Subcommands:
+
+* ``generate`` -- synthesise a trace family to ``.npz`` or ``.pcap``;
+* ``monitor``  -- run a (Nitro-)sketch over a trace file and report
+  heavy hitters / entropy / distinct flows;
+* ``simulate`` -- run the software-switch simulator over a trace and
+  report throughput and CPU shares;
+* ``experiment`` -- regenerate a paper table/figure by name.
+
+Examples::
+
+    nitrosketch generate caida --packets 1000000 --out trace.npz
+    nitrosketch monitor trace.npz --sketch univmon --probability 0.01
+    nitrosketch simulate trace.npz --platform ovs --mode separate
+    nitrosketch experiment fig8 --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional
+
+from repro.core import NitroMode, nitro_countmin, nitro_countsketch, nitro_kary, nitro_univmon
+from repro.experiments.common import vanilla_monitor
+from repro.experiments.report import print_result
+from repro.metrics.accuracy import (
+    empirical_entropy,
+    heavy_hitter_truth,
+    mean_relative_error,
+    recall,
+)
+from repro.switchsim import (
+    BESSPipeline,
+    IntegrationMode,
+    MeasurementDaemon,
+    OVSDPDKPipeline,
+    SwitchSimulator,
+    VPPPipeline,
+)
+from repro.traffic import TRACE_FAMILIES, load_trace, read_pcap, save_trace, write_pcap
+
+EXPERIMENT_NAMES = (
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation",
+    "adaptive",
+    "validation",
+)
+
+PLATFORMS = {
+    "ovs": OVSDPDKPipeline,
+    "vpp": VPPPipeline,
+    "bess": BESSPipeline,
+}
+
+
+def _load_trace(path: str):
+    if path.endswith(".pcap"):
+        return read_pcap(path)
+    return load_trace(path)
+
+
+def _build_monitor(args):
+    nitro_factories = {
+        "cm": nitro_countmin,
+        "cs": nitro_countsketch,
+        "kary": nitro_kary,
+    }
+    mode = NitroMode(args.mode) if args.vanilla is False else None
+    if args.vanilla:
+        return vanilla_monitor(args.sketch, seed=args.seed, k=args.top_k)
+    if args.sketch == "univmon":
+        return nitro_univmon(
+            probability=args.probability, mode=mode, k=args.top_k, seed=args.seed
+        )
+    return nitro_factories[args.sketch](
+        probability=args.probability, mode=mode, top_k=args.top_k, seed=args.seed
+    )
+
+
+def cmd_generate(args) -> int:
+    generator = TRACE_FAMILIES[args.family]
+    trace = generator(args.packets, seed=args.seed)
+    if args.out.endswith(".pcap"):
+        write_pcap(trace, args.out)
+    else:
+        save_trace(trace, args.out)
+    print(
+        "wrote %s: %d packets, %d flows, mean size %.0fB"
+        % (args.out, len(trace), trace.flow_count(), trace.mean_packet_size)
+    )
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    trace = _load_trace(args.trace)
+    monitor = _build_monitor(args)
+    monitor.update_batch(trace.keys)
+    threshold = args.threshold * len(trace)
+    hitters = monitor.heavy_hitters(threshold)
+    counts = trace.counts()
+    truth = heavy_hitter_truth(counts, args.threshold)
+    print(
+        "%d packets, %d flows; %d heavy hitters above %.3f%% "
+        "(recall %.1f%%, mean rel. error %.2f%%)"
+        % (
+            len(trace),
+            len(counts),
+            len(hitters),
+            100 * args.threshold,
+            100 * recall({key for key, _ in hitters}, truth),
+            100 * mean_relative_error(dict(hitters), counts),
+        )
+    )
+    for key, estimate in hitters[: args.show]:
+        print("  flow %20d  ~%.0f packets (true %d)" % (key, estimate, counts.get(key, 0)))
+    if hasattr(monitor, "entropy_estimate"):
+        print(
+            "entropy: %.3f bits (true %.3f)"
+            % (monitor.entropy_estimate(), empirical_entropy(counts))
+        )
+    if hasattr(monitor, "distinct_estimate"):
+        print("distinct flows: ~%.0f (true %d)" % (monitor.distinct_estimate(), len(counts)))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    trace = _load_trace(args.trace)
+    monitor = _build_monitor(args)
+    mode = (
+        IntegrationMode.SEPARATE_THREAD
+        if args.integration == "separate"
+        else IntegrationMode.ALL_IN_ONE
+    )
+    daemon = MeasurementDaemon(monitor, mode, name=args.sketch, use_batch=False)
+    simulator = SwitchSimulator(PLATFORMS[args.platform](), daemon)
+    result = simulator.run(trace, offered_gbps=args.offered_gbps)
+    for key, value in result.summary().items():
+        print("%-18s %s" % (key, value))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    module = importlib.import_module("repro.experiments.%s" % args.name)
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    output = module.run(**kwargs)
+    panels = output if isinstance(output, tuple) else (output,)
+    for panel in panels:
+        print_result(panel)
+        print()
+    return 0
+
+
+def _add_monitor_arguments(parser) -> None:
+    parser.add_argument(
+        "--sketch", choices=("cm", "cs", "kary", "univmon"), default="cs"
+    )
+    parser.add_argument("--probability", type=float, default=0.01)
+    parser.add_argument(
+        "--mode",
+        choices=("fixed", "always_line_rate", "always_correct"),
+        default="fixed",
+    )
+    parser.add_argument("--vanilla", action="store_true", help="disable NitroSketch")
+    parser.add_argument("--top-k", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nitrosketch", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="synthesise a trace")
+    generate.add_argument("family", choices=sorted(TRACE_FAMILIES))
+    generate.add_argument("--packets", type=int, default=1_000_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help=".npz or .pcap path")
+    generate.set_defaults(func=cmd_generate)
+
+    monitor = sub.add_parser("monitor", help="run a sketch over a trace")
+    monitor.add_argument("trace", help=".npz or .pcap trace file")
+    monitor.add_argument("--threshold", type=float, default=0.0005)
+    monitor.add_argument("--show", type=int, default=10)
+    _add_monitor_arguments(monitor)
+    monitor.set_defaults(func=cmd_monitor)
+
+    simulate = sub.add_parser("simulate", help="switch-simulator run")
+    simulate.add_argument("trace")
+    simulate.add_argument("--platform", choices=sorted(PLATFORMS), default="ovs")
+    simulate.add_argument(
+        "--integration", choices=("aio", "separate"), default="aio"
+    )
+    simulate.add_argument("--offered-gbps", type=float, default=40.0)
+    _add_monitor_arguments(simulate)
+    simulate.set_defaults(func=cmd_simulate)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument("name", choices=EXPERIMENT_NAMES)
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Control plane: epochs, measurement tasks, and estimation.
+
+The paper splits NitroSketch into a data-plane Sketching module and a
+control-plane Estimation module that "periodically (at the end of each
+epoch) receives sketching data ... assigns the sketching data to the
+corresponding measurement tasks based on user definitions, and
+calculates the estimated results" (Section 6).
+
+* :mod:`repro.control.tasks` -- the measurement-task definitions the
+  evaluation uses: heavy hitters, change detection, entropy estimation,
+  distinct-flow counting (Section 2's task list).
+* :mod:`repro.control.plane` -- the epoch-driven controller that runs
+  tasks against any monitor and collects per-epoch reports.
+"""
+
+from repro.control.tasks import (
+    MeasurementTask,
+    HeavyHitterTask,
+    ChangeDetectionTask,
+    EntropyTask,
+    DistinctFlowsTask,
+    TaskReport,
+)
+from repro.control.plane import ControlPlane, EpochReport, KAryChangeMonitor
+from repro.control.windows import SlidingWindowMonitor
+from repro.control.export import (
+    ControlLink,
+    deserialize_sketch,
+    export_cost,
+    serialize_sketch,
+)
+
+__all__ = [
+    "MeasurementTask",
+    "HeavyHitterTask",
+    "ChangeDetectionTask",
+    "EntropyTask",
+    "DistinctFlowsTask",
+    "TaskReport",
+    "ControlPlane",
+    "EpochReport",
+    "KAryChangeMonitor",
+    "ControlLink",
+    "serialize_sketch",
+    "deserialize_sketch",
+    "export_cost",
+    "SlidingWindowMonitor",
+]

@@ -1,0 +1,121 @@
+"""Sketch serialization + control-plane transfer model.
+
+The paper's control plane "periodically (at the end of each epoch)
+receives sketching data from the data plane module through a 1GbE link"
+(Section 6).  This module provides:
+
+* :func:`serialize_sketch` / :func:`deserialize_sketch` -- byte-exact
+  round-trip of canonical sketches (and Nitro wrappers / UnivMon, whose
+  state is their sketches plus top-k contents);
+* :class:`ControlLink` -- the 1 GbE transfer model: how long an epoch's
+  sketch export occupies the management link, the quantity that bounds
+  how small epochs can get in the paper's deployment.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sketches.base import CanonicalSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.kary import KArySketch
+
+#: Registry of serializable canonical sketch classes.
+_SKETCH_CLASSES = {
+    "CountMinSketch": CountMinSketch,
+    "CountSketch": CountSketch,
+    "KArySketch": KArySketch,
+}
+
+
+def serialize_sketch(sketch: CanonicalSketch) -> bytes:
+    """Serialize a canonical sketch to bytes (config + counters).
+
+    Hash functions are reconstructed from the seed, so only the counter
+    grid and the scalar state travel -- the same wire format choice the
+    paper's data plane makes (ship counters, rebuild hashes).
+    """
+    class_name = type(sketch).__name__
+    if class_name not in _SKETCH_CLASSES:
+        raise TypeError("unsupported sketch class %r" % (class_name,))
+    header = {
+        "class": class_name,
+        "depth": sketch.depth,
+        "width": sketch.width,
+        "seed": sketch.seed,
+        "hash_family": sketch.hash_family,
+    }
+    if isinstance(sketch, KArySketch):
+        header["total"] = sketch.total
+    buffer = io.BytesIO()
+    header_bytes = json.dumps(header).encode("utf-8")
+    buffer.write(len(header_bytes).to_bytes(4, "little"))
+    buffer.write(header_bytes)
+    buffer.write(sketch.counters.astype(np.float64).tobytes())
+    return buffer.getvalue()
+
+
+def deserialize_sketch(data: bytes) -> CanonicalSketch:
+    """Rebuild a sketch serialized by :func:`serialize_sketch`."""
+    header_length = int.from_bytes(data[:4], "little")
+    header = json.loads(data[4 : 4 + header_length].decode("utf-8"))
+    sketch_cls = _SKETCH_CLASSES.get(header["class"])
+    if sketch_cls is None:
+        raise ValueError("unknown sketch class %r" % (header["class"],))
+    sketch = sketch_cls(
+        header["depth"],
+        header["width"],
+        header["seed"],
+        hash_family=header.get("hash_family", "multiply_shift"),
+    )
+    counters = np.frombuffer(
+        data[4 + header_length :], dtype=np.float64
+    ).reshape(header["depth"], header["width"])
+    sketch.counters = counters.copy()
+    if isinstance(sketch, KArySketch):
+        sketch.total = header.get("total", 0.0)
+    return sketch
+
+
+@dataclass(frozen=True)
+class ControlLink:
+    """The management link between data plane and control plane.
+
+    The paper uses 1 GbE (BCM5720); the transfer of an epoch's sketch
+    state takes ``bytes * 8 / rate`` seconds of that link, which bounds
+    the practical epoch granularity (Section 4.3's 100ms-10s band).
+    """
+
+    rate_gbps: float = 1.0
+    #: Per-transfer protocol overhead (headers, framing), bytes.
+    overhead_bytes: int = 512
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        """Seconds the link is busy shipping one epoch's sketch state."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        total_bits = (payload_bytes + self.overhead_bytes) * 8
+        return total_bits / (self.rate_gbps * 1e9)
+
+    def max_epochs_per_second(self, payload_bytes: int) -> float:
+        """Upper bound on epoch frequency the link supports."""
+        seconds = self.transfer_seconds(payload_bytes)
+        if seconds <= 0:
+            return float("inf")
+        return 1.0 / seconds
+
+
+def export_cost(monitor, link: ControlLink = ControlLink()) -> Tuple[int, float]:
+    """(payload bytes, link seconds) for exporting a monitor's state.
+
+    Works with anything exposing ``memory_bytes`` -- the control plane
+    ships the counter state, which is what that figure approximates.
+    """
+    payload = monitor.memory_bytes()
+    return payload, link.transfer_seconds(payload)

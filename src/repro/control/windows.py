@@ -1,0 +1,122 @@
+"""Sliding-window monitoring over epoch rings.
+
+The paper's task list includes windowed variants (ref [6], a sliding
+Bloom filter giving counting/distinct/entropy over windows).  Sketch
+linearity gives a simple, exact-at-epoch-granularity construction: keep
+a ring of the last ``window`` epoch sketches; the window view is their
+merge.  This is the standard "basic window" technique -- memory is
+``window`` sketches, and answers cover the most recent
+``window * epoch_packets`` packets with epoch-granularity staleness.
+
+Works with any mergeable monitor (canonical sketches and NitroSketch
+wrappers); the factory must produce same-seed instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Tuple
+
+
+class SlidingWindowMonitor:
+    """Ring of epoch sketches answering queries over the last W epochs.
+
+    Parameters
+    ----------
+    monitor_factory:
+        Builds one epoch monitor; must produce merge-compatible
+        instances (same seed/shape).
+    window_epochs:
+        Number of epochs the window spans.
+    epoch_packets:
+        Packets per epoch (the rotation granularity).
+    """
+
+    def __init__(
+        self,
+        monitor_factory: Callable[[], object],
+        window_epochs: int,
+        epoch_packets: int,
+    ) -> None:
+        if window_epochs < 1:
+            raise ValueError("window_epochs must be >= 1")
+        if epoch_packets < 1:
+            raise ValueError("epoch_packets must be >= 1")
+        self.monitor_factory = monitor_factory
+        self.window_epochs = window_epochs
+        self.epoch_packets = epoch_packets
+        # Completed epochs inside the window (the in-progress epoch is
+        # held separately), so the window is ring + current.
+        self._ring: Deque = deque(maxlen=max(window_epochs - 1, 1) if window_epochs > 1 else 0)
+        self._current = monitor_factory()
+        self._current_count = 0
+        self.epochs_rotated = 0
+
+    def update(self, key: int, weight: float = 1.0) -> None:
+        """Ingest one packet, rotating the ring at epoch boundaries."""
+        self._current.update(key, weight)
+        self._current_count += 1
+        if self._current_count >= self.epoch_packets:
+            self._rotate()
+
+    def update_batch(self, keys) -> None:
+        """Batched ingest honouring epoch boundaries."""
+        import numpy as np
+
+        keys = np.asarray(keys)
+        start = 0
+        while start < len(keys):
+            room = self.epoch_packets - self._current_count
+            chunk = keys[start : start + room]
+            self._current.update_batch(chunk)
+            self._current_count += len(chunk)
+            start += len(chunk)
+            if self._current_count >= self.epoch_packets:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        self._ring.append(self._current)
+        self._current = self.monitor_factory()
+        self._current_count = 0
+        self.epochs_rotated += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def window_monitors(self) -> List:
+        """The monitors currently inside the window (oldest first),
+        including the in-progress epoch."""
+        return list(self._ring) + [self._current]
+
+    def query(self, key: int) -> float:
+        """Estimated count of ``key`` over the window."""
+        return sum(monitor.query(key) for monitor in self.window_monitors())
+
+    def merged(self):
+        """A merged copy of the window (for heavy-hitter extraction etc.)."""
+        monitors = self.window_monitors()
+        merged = self.monitor_factory()
+        for monitor in monitors:
+            merged.merge(monitor)
+        return merged
+
+    def heavy_hitters(self, threshold: float) -> List[Tuple[int, float]]:
+        """Window heavy hitters from per-epoch candidates + window counts."""
+        candidates = set()
+        for monitor in self.window_monitors():
+            if hasattr(monitor, "topk") and monitor.topk is not None:
+                candidates.update(monitor.topk.keys())
+        hitters = [
+            (key, self.query(key)) for key in candidates if self.query(key) > threshold
+        ]
+        hitters.sort(key=lambda item: (-item[1], item[0]))
+        return hitters
+
+    def window_packets(self) -> int:
+        """Packets currently covered by the window."""
+        full_epochs = min(len(self._ring), self.window_epochs - 1)
+        return full_epochs * self.epoch_packets + self._current_count
+
+    def memory_bytes(self) -> int:
+        return sum(
+            monitor.memory_bytes() for monitor in list(self._ring) + [self._current]
+        )

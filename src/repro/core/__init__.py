@@ -1,0 +1,158 @@
+"""NitroSketch -- the paper's core contribution.
+
+Public surface:
+
+* :class:`NitroSketch` -- wraps any canonical sketch with geometric
+  counter-array sampling (Algorithm 1).
+* :class:`NitroConfig` / :class:`NitroMode` -- parameters and the
+  FIXED / ALWAYS_LINE_RATE / ALWAYS_CORRECT operating modes.
+* :class:`GeometricSampler` -- the Idea-B skip sampler.
+* Convenience factories for the four sketches the paper evaluates:
+  :func:`nitro_countmin`, :func:`nitro_countsketch`, :func:`nitro_kary`,
+  :func:`nitro_univmon`.
+"""
+
+from typing import Sequence, Union
+
+from repro.core.config import (
+    NitroConfig,
+    NitroMode,
+    PROBABILITY_LADDER,
+    P_MIN,
+    snap_to_ladder,
+)
+from repro.core.geometric import GeometricSampler, geometric_positions
+from repro.core.modes import AlwaysCorrectController, AlwaysLineRateController
+from repro.core.nitro import NitroSketch
+from repro.core.univmon_nitro import NitroUnivMon
+from repro.hashing.families import derive_seeds
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.kary import KArySketch
+from repro.sketches.univmon import UnivMon
+
+__all__ = [
+    "NitroSketch",
+    "NitroUnivMon",
+    "NitroConfig",
+    "NitroMode",
+    "PROBABILITY_LADDER",
+    "P_MIN",
+    "snap_to_ladder",
+    "GeometricSampler",
+    "geometric_positions",
+    "AlwaysCorrectController",
+    "AlwaysLineRateController",
+    "nitro_countmin",
+    "nitro_countsketch",
+    "nitro_kary",
+    "nitro_univmon",
+]
+
+
+def nitro_countmin(
+    depth: int = 5,
+    width: int = 10000,
+    probability: float = 0.01,
+    mode: Union[NitroMode, str] = NitroMode.FIXED,
+    top_k: int = 100,
+    seed: int = 0,
+    **config_kwargs,
+) -> NitroSketch:
+    """NitroSketch-accelerated Count-Min (the paper's CM configuration)."""
+    config = NitroConfig(
+        probability=probability, mode=mode, top_k=top_k, seed=seed, **config_kwargs
+    )
+    return NitroSketch(CountMinSketch(depth, width, seed), config)
+
+
+def nitro_countsketch(
+    depth: int = 5,
+    width: int = 102400,
+    probability: float = 0.01,
+    mode: Union[NitroMode, str] = NitroMode.FIXED,
+    top_k: int = 100,
+    seed: int = 0,
+    **config_kwargs,
+) -> NitroSketch:
+    """NitroSketch-accelerated Count Sketch (paper: 5 x 102400 / 2 MB)."""
+    config = NitroConfig(
+        probability=probability, mode=mode, top_k=top_k, seed=seed, **config_kwargs
+    )
+    return NitroSketch(CountSketch(depth, width, seed), config)
+
+
+def nitro_kary(
+    depth: int = 10,
+    width: int = 51200,
+    probability: float = 0.01,
+    mode: Union[NitroMode, str] = NitroMode.FIXED,
+    top_k: int = 100,
+    seed: int = 0,
+    **config_kwargs,
+) -> NitroSketch:
+    """NitroSketch-accelerated K-ary sketch (paper: 10 x 51200 / 2 MB)."""
+    config = NitroConfig(
+        probability=probability, mode=mode, top_k=top_k, seed=seed, **config_kwargs
+    )
+    return NitroSketch(KArySketch(depth, width, seed), config)
+
+
+def nitro_univmon(
+    levels: int = 14,
+    depth: int = 5,
+    widths: Union[int, Sequence[int]] = 10000,
+    k: int = 100,
+    probability: float = 0.01,
+    mode: Union[NitroMode, str] = NitroMode.FIXED,
+    seed: int = 0,
+    integration: str = "whole_structure",
+    **config_kwargs,
+) -> UnivMon:
+    """UnivMon accelerated by NitroSketch.
+
+    ``integration`` selects between the two forms the paper describes:
+
+    * ``"whole_structure"`` (default) -- the implementation's data plane
+      (Figure 7b): one geometric process over all ``levels x depth``
+      counter arrays, so unsampled packets perform no hashing at all.
+      This is what reaches the in-memory 83 Mpps of Figure 13a.
+    * ``"per_level"`` -- "replacing each Count Sketch instance in UnivMon
+      with ... NitroSketch" (Section 8): each level gets its own
+      NitroSketch wrapper and geometric sampler.
+
+    Both sample every level's substream at rate ``p`` and carry the same
+    accuracy guarantees; they differ only in common-path cost.
+    """
+    if integration == "whole_structure":
+        config = NitroConfig(
+            probability=probability, mode=mode, top_k=k, seed=seed, **config_kwargs
+        )
+        return NitroUnivMon(
+            levels=levels, depth=depth, widths=widths, k=k, config=config
+        )
+    if integration != "per_level":
+        raise ValueError(
+            "integration must be 'whole_structure' or 'per_level', got %r"
+            % (integration,)
+        )
+    level_seeds = derive_seeds(seed ^ 0x517CB3, levels)
+
+    def factory(level: int, d: int, width: int, topk: int, sketch_seed: int) -> NitroSketch:
+        config = NitroConfig(
+            probability=probability,
+            mode=mode,
+            top_k=topk,
+            seed=level_seeds[level],
+            **config_kwargs,
+        )
+        return NitroSketch(CountSketch(d, width, sketch_seed), config)
+
+    return UnivMon(
+        levels=levels,
+        depth=depth,
+        widths=widths,
+        k=k,
+        seed=seed,
+        level_factory=factory,
+    )

@@ -1,0 +1,149 @@
+"""NitroSketch configuration and parameter selection.
+
+Bundles the knobs of Algorithm 1 and the sizing rules of Section 5 into
+one validated object so callers can either specify raw (depth, width, p)
+or derive them from an (epsilon, delta) accuracy target exactly the way
+the paper's evaluation does ("we select parameters based on a 5% accuracy
+guarantee", Section 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis import theory
+
+
+class NitroMode(enum.Enum):
+    """Operating mode of the NitroSketch data plane (Section 4.2, Idea C)."""
+
+    #: Fixed sampling probability (the throughput/accuracy evaluations use
+    #: fixed p = 0.01 / 0.1).
+    FIXED = "fixed"
+    #: Adapt p to the packet arrival rate each epoch; converges fast, always
+    #: keeps per-time-unit work constant.
+    ALWAYS_LINE_RATE = "always_line_rate"
+    #: Start at p = 1 (exact) and begin sampling only once the L2 convergence
+    #: test passes; accurate from the first packet.
+    ALWAYS_CORRECT = "always_correct"
+
+
+#: The discrete sampling-rate ladder of AlwaysLineRate mode
+#: (Section 4.3: "p in {1, 2^-1, 2^-2, ..., 2^-7}").
+PROBABILITY_LADDER: List[float] = [2.0**-i for i in range(0, 8)]
+
+#: The smallest ladder rung, used to size memory for the worst case.
+P_MIN = PROBABILITY_LADDER[-1]
+
+
+def snap_to_ladder(probability: float) -> float:
+    """Round ``probability`` down to the nearest ladder rung.
+
+    AlwaysLineRate only uses powers of two so the counter scaling
+    ``p^-1`` stays an exact small integer.  Values below the bottom rung
+    clamp to ``P_MIN``; values >= 1 clamp to 1.
+    """
+    if probability >= 1.0:
+        return 1.0
+    for rung in PROBABILITY_LADDER:
+        if probability >= rung:
+            return rung
+    return P_MIN
+
+
+@dataclass
+class NitroConfig:
+    """Validated NitroSketch parameters.
+
+    Attributes
+    ----------
+    probability:
+        Row-sampling probability ``p`` (the fixed value, or the floor
+        ``p_min`` for the adaptive modes).
+    mode:
+        Operating mode (fixed / AlwaysLineRate / AlwaysCorrect).
+    epsilon, delta:
+        Accuracy target used for sizing and the convergence threshold.
+    top_k:
+        Heavy keys tracked alongside the sketch (0 disables the heap).
+    convergence_check_period:
+        ``Q`` in Algorithm 1 -- how often (in packets) AlwaysCorrect
+        evaluates the convergence test (paper example: Q = 1000).
+    adaptation_epoch_seconds:
+        AlwaysLineRate rate-measurement epoch (paper: 100 ms).
+    target_update_rate_mpps:
+        The per-row update budget AlwaysLineRate aims for; p is chosen as
+        ``target / measured_rate`` snapped to the ladder (Figure 6's
+        example numbers -- 40 Mpps -> 1/64, 10 Mpps -> 1/16 -- imply a
+        0.625 Mpps budget, the default).
+    sampling:
+        ``"geometric"`` (Idea B, default) or ``"bernoulli"`` -- the
+        per-row coin-flip realisation of Idea A *without* the geometric
+        optimisation.  Statistically identical; kept as the Figure-9b
+        ablation baseline showing the PRNG cost Idea B removes.
+    seed:
+        Seed for the geometric sampler.
+    """
+
+    probability: float = 0.01
+    mode: NitroMode = NitroMode.FIXED
+    epsilon: float = 0.05
+    delta: float = 0.05
+    top_k: int = 100
+    convergence_check_period: int = 1000
+    adaptation_epoch_seconds: float = 0.1
+    target_update_rate_mpps: float = 0.625
+    sampling: str = "geometric"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1], got %r" % (self.probability,))
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1), got %r" % (self.epsilon,))
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError("delta must be in (0, 1), got %r" % (self.delta,))
+        if self.top_k < 0:
+            raise ValueError("top_k must be >= 0, got %d" % self.top_k)
+        if self.convergence_check_period < 1:
+            raise ValueError("convergence_check_period must be >= 1")
+        if self.adaptation_epoch_seconds <= 0:
+            raise ValueError("adaptation_epoch_seconds must be positive")
+        if self.sampling not in ("geometric", "bernoulli"):
+            raise ValueError(
+                "sampling must be 'geometric' or 'bernoulli', got %r" % (self.sampling,)
+            )
+        if isinstance(self.mode, str):
+            self.mode = NitroMode(self.mode)
+
+    # -- derived quantities -------------------------------------------------
+
+    def convergence_threshold(self) -> float:
+        """The AlwaysCorrect threshold ``T`` for this configuration."""
+        return theory.convergence_threshold(self.epsilon, self.probability)
+
+    def recommended_depth(self) -> int:
+        """Rows for the configured delta: ``ceil(log2 1/delta)``."""
+        return theory.sketch_depth(self.delta)
+
+    def recommended_width(self, guarantee: str = "l2") -> int:
+        """Width for the configured target.
+
+        ``guarantee='l2'`` uses Theorem 2/5 sizing (Count Sketch style);
+        ``'l1'`` uses Theorem 1 sizing (Count-Min style).
+        """
+        if guarantee == "l2":
+            if self.mode is NitroMode.ALWAYS_CORRECT:
+                return theory.alwayscorrect_width(self.epsilon, self.probability)
+            return theory.linerate_width(self.epsilon, self.probability)
+        if guarantee == "l1":
+            return theory.countmin_width(self.epsilon)
+        raise ValueError("guarantee must be 'l1' or 'l2', got %r" % (guarantee,))
+
+    def probability_for_rate(self, rate_mpps: float) -> float:
+        """AlwaysLineRate's p for a measured arrival rate (Figure 6)."""
+        if rate_mpps <= 0:
+            return 1.0
+        return snap_to_ladder(self.target_update_rate_mpps / rate_mpps)

@@ -1,0 +1,118 @@
+"""Geometric sampling of counter-array slots (paper Idea B, Figure 5).
+
+Uniformly sampling each (packet, row) slot with probability ``p`` is
+mathematically equivalent to drawing, after each sampled slot, a
+Geometric(p) variate telling how many slots to skip until the next one.
+The win is operational: unsampled slots cost a single integer decrement
+instead of a PRNG draw, which is what lets NitroSketch pass 40 GbE where
+per-packet coin flips cannot (Section 4.1, Strawman 2 lesson).
+
+:class:`GeometricSampler` draws the variates with the inverse-CDF method
+``G = floor(ln U / ln(1 - p)) + 1`` over a deterministic xorshift64*
+stream, and degrades gracefully to "every slot" at ``p = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.prng import XorShift64Star
+from repro.metrics.opcount import NULL_OPS
+
+
+class GeometricSampler:
+    """Draws Geometric(p) inter-sample gaps (support {1, 2, 3, ...}).
+
+    The sampling probability can be changed at any time (the adaptive
+    modes do); draws made after the change use the new ``p``.
+    """
+
+    def __init__(self, probability: float, seed: int = 0) -> None:
+        self.ops = NULL_OPS
+        self._rng = XorShift64Star(seed or 0x9E3779B97F4A7C15)
+        self._log1m: float = 0.0
+        self._probability: float = 1.0
+        self.set_probability(probability)
+
+    @property
+    def probability(self) -> float:
+        """Current per-slot sampling probability ``p``."""
+        return self._probability
+
+    def set_probability(self, probability: float) -> None:
+        """Change ``p``; affects draws made from now on."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1], got %r" % (probability,))
+        self._probability = probability
+        self._log1m = math.log1p(-probability) if probability < 1.0 else 0.0
+
+    def next_gap(self) -> int:
+        """Slots until (and including) the next sampled slot.
+
+        Returns 1 with probability ``p``, 2 with ``p(1-p)``, etc.  At
+        ``p = 1`` every slot is sampled and no PRNG draw is made -- the
+        AlwaysCorrect warm-up therefore costs zero sampling overhead.
+        """
+        if self._probability >= 1.0:
+            return 1
+        self.ops.prng()
+        u = self._rng.next_float()
+        # Guard the measure-zero u == 0 case (log would be -inf).
+        while u <= 0.0:
+            u = self._rng.next_float()
+        return int(math.log(u) / self._log1m) + 1
+
+    def gaps_batch(self, count: int) -> "np.ndarray":
+        """Draw ``count`` gaps at once (used by the buffered batch path)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self._probability >= 1.0:
+            return np.ones(count, dtype=np.int64)
+        self.ops.prng(count)
+        uniforms = np.array([self._rng.next_float() for _ in range(count)])
+        uniforms = np.clip(uniforms, np.finfo(np.float64).tiny, None)
+        return (np.log(uniforms) / self._log1m).astype(np.int64) + 1
+
+    def expected_gap(self) -> float:
+        """Mean inter-sample gap, ``1/p``."""
+        return 1.0 / self._probability
+
+
+def geometric_positions(
+    probability: float, total_slots: int, rng: "np.random.Generator"
+):
+    """Vectorised geometric slot sampling over ``[0, total_slots)``.
+
+    Simulates the slot process "skip Geometric(p)-1 slots, sample one,
+    repeat" from a fresh start and returns ``(positions, leftover)``:
+
+    * ``positions`` -- int64 array of sampled slot indices ``< total_slots``
+      (the first sampled slot is ``G1 - 1`` for the first gap ``G1``);
+    * ``leftover`` -- how many slots of the *next* range to skip before its
+      first sample, i.e. ``first_position_beyond - total_slots``.
+
+    This is the fully vectorised path used by
+    :meth:`repro.core.nitro.NitroSketch.update_batch` (Idea D): one bulk
+    RNG call replaces ~``p * total_slots`` scalar draws.
+    """
+    if not 0.0 < probability <= 1.0:
+        raise ValueError("probability must be in (0, 1], got %r" % (probability,))
+    if total_slots < 0:
+        raise ValueError("total_slots must be non-negative")
+    if probability >= 1.0:
+        return np.arange(total_slots, dtype=np.int64), 0
+    expected = probability * total_slots
+    # Overshoot by 6 sigma so one bulk draw almost always covers the range.
+    budget = int(expected + 6.0 * math.sqrt(expected + 1.0)) + 2
+    positions = np.cumsum(rng.geometric(probability, size=budget)).astype(np.int64) - 1
+    while positions[-1] < total_slots:
+        extra = (
+            np.cumsum(rng.geometric(probability, size=budget)).astype(np.int64)
+            + positions[-1]
+        )
+        positions = np.concatenate([positions, extra])
+    beyond = positions[positions >= total_slots]
+    leftover = int(beyond[0]) - total_slots
+    return positions[positions < total_slots], leftover

@@ -1,0 +1,119 @@
+"""Adaptive-mode controllers for NitroSketch (paper Idea C, Section 4.3).
+
+Two controllers, matching Algorithm 1:
+
+* :class:`AlwaysLineRateController` -- measures the packet arrival rate
+  over fixed wall-clock epochs (100 ms in the paper) and sets the
+  sampling probability inversely proportional to it, snapped to the
+  ``{1, 1/2, ..., 1/128}`` ladder.  Keeps data-plane work per time unit
+  roughly constant regardless of offered load.
+* :class:`AlwaysCorrectController` -- keeps ``p = 1`` (exact updates)
+  until the sketch's median row sum-of-squares exceeds the convergence
+  threshold ``T = 121(1 + eps sqrt(p)) eps^-4 p^-2`` (checked every ``Q``
+  packets), then releases the sketch into sampling.  Guarantees the
+  eps*L2 bound from the very first packet (Theorem 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import NitroConfig
+from repro.sketches.base import CanonicalSketch
+
+
+class AlwaysLineRateController:
+    """Epoch-based rate adaptation (Algorithm 1 lines 5-9).
+
+    Feed packet timestamps (seconds) via :meth:`on_packet`; at each epoch
+    boundary it returns the new sampling probability (or ``None`` when
+    unchanged).  Without timestamps the controller cannot measure a rate
+    and leaves ``p`` alone, which degrades to fixed-probability mode.
+    """
+
+    def __init__(self, config: NitroConfig) -> None:
+        self.config = config
+        self.current_probability = config.probability
+        self._epoch_start: Optional[float] = None
+        self._epoch_packets = 0
+        #: History of (timestamp, probability) adjustments, for inspection.
+        self.adjustments = []
+
+    def on_packet(self, timestamp: Optional[float]) -> Optional[float]:
+        """Register one packet arrival; maybe return a new probability."""
+        if timestamp is None:
+            return None
+        if self._epoch_start is None:
+            self._epoch_start = timestamp
+            self._epoch_packets = 1
+            return None
+        self._epoch_packets += 1
+        elapsed = timestamp - self._epoch_start
+        if elapsed < self.config.adaptation_epoch_seconds:
+            return None
+        rate_mpps = self._epoch_packets / elapsed / 1e6
+        self._epoch_start = timestamp
+        self._epoch_packets = 0
+        new_probability = self.config.probability_for_rate(rate_mpps)
+        if new_probability != self.current_probability:
+            self.current_probability = new_probability
+            self.adjustments.append((timestamp, new_probability))
+            return new_probability
+        return None
+
+    def on_batch(self, packet_count: int, duration_seconds: float) -> Optional[float]:
+        """Batch-granularity adaptation: rate = packets / duration."""
+        if duration_seconds <= 0 or packet_count <= 0:
+            return None
+        rate_mpps = packet_count / duration_seconds / 1e6
+        new_probability = self.config.probability_for_rate(rate_mpps)
+        if new_probability != self.current_probability:
+            self.current_probability = new_probability
+            self.adjustments.append((None, new_probability))
+            return new_probability
+        return None
+
+
+class AlwaysCorrectController:
+    """Convergence detection (Algorithm 1 lines 10-15).
+
+    While unconverged the sketch must be driven at ``p = 1``.  Every
+    ``Q = config.convergence_check_period`` packets the controller
+    evaluates ``median_i sum_y C[i,y]^2 > T``; once true, it records the
+    convergence point and the data plane switches to sampling.
+    """
+
+    def __init__(self, config: NitroConfig, sketch: CanonicalSketch) -> None:
+        self.config = config
+        self.sketch = sketch
+        self.threshold = config.convergence_threshold()
+        self.converged = False
+        self.converged_at_packet: Optional[int] = None
+        self._packets = 0
+
+    def on_packet(self) -> bool:
+        """Register one packet; return True iff convergence just triggered."""
+        if self.converged:
+            return False
+        self._packets += 1
+        if self._packets % self.config.convergence_check_period != 0:
+            return False
+        return self._evaluate()
+
+    def on_batch(self, packet_count: int) -> bool:
+        """Register a packet batch; the check runs once per crossed period."""
+        if self.converged:
+            return False
+        before = self._packets
+        self._packets += packet_count
+        period = self.config.convergence_check_period
+        if self._packets // period == before // period:
+            return False
+        return self._evaluate()
+
+    def _evaluate(self) -> bool:
+        if self.sketch.l2_squared_estimate() > self.threshold:
+            self.converged = True
+            self.converged_at_packet = self._packets
+            return True
+        return False

@@ -1,0 +1,17 @@
+"""Per-figure experiment runners.
+
+One module per paper table/figure (see DESIGN.md's experiment index).
+Each exposes ``run(scale=..., seed=...) -> ExperimentResult`` (or a
+tuple of results for multi-panel figures) and prints the paper-shaped
+series when executed as a script::
+
+    python -m repro.experiments.fig8 [--scale 0.05]
+
+``scale`` shrinks packet counts so everything is tractable in pure
+Python; the *shape* of each series (orderings, crossovers, error decay)
+is scale-invariant and is what the benches assert.
+"""
+
+from repro.experiments.report import ExperimentResult, format_table, print_result
+
+__all__ = ["ExperimentResult", "format_table", "print_result"]

@@ -1,0 +1,68 @@
+"""Run paper experiments from the command line.
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig8 fig11 --scale 0.05
+    python -m repro.experiments --all --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+ALL_EXPERIMENTS = (
+    "table1",
+    "fig2",
+    "fig3",
+    "table2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation",
+    "adaptive",
+    "validation",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument("names", nargs="*", help="experiment names (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument("--scale", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.all else args.names
+    if not names:
+        parser.error("give experiment names, --all, or --list")
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error("unknown experiments: %s" % ", ".join(unknown))
+
+    from repro.experiments.report import print_result
+
+    for name in names:
+        module = importlib.import_module("repro.experiments.%s" % name)
+        kwargs = {"scale": args.scale} if args.scale is not None else {}
+        output = module.run(**kwargs)
+        for panel in output if isinstance(output, tuple) else (output,):
+            print_result(panel)
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

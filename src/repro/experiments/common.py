@@ -1,0 +1,131 @@
+"""Shared builders for the experiment modules.
+
+Centralises the paper's Section-7 parameter choices so every figure uses
+the same configurations:
+
+* UnivMon: 14 levels x (5 x w) Count Sketches, first levels larger
+  (:func:`repro.sketches.paper_widths`), k = 100 heavy keys per level;
+* Count-Min: 5 x 10000 (200 KB);
+* Count Sketch: 5 x 102400 (2 MB);
+* K-ary: 10 x 51200 (2 MB);
+* NitroSketch: fixed geometric sampling p = 0.01 unless stated.
+
+``scale`` shrinks packet counts (and, where meaningful, structure sizes)
+so benches run in seconds; the default scale used by the benchmark suite
+is small, and ``python -m repro.experiments.<fig> --scale 1.0`` runs the
+full-size version.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import NitroConfig, NitroMode, NitroSketch, nitro_univmon
+from repro.sketches import (
+    CountMinSketch,
+    CountSketch,
+    KArySketch,
+    TrackedSketch,
+    UnivMon,
+    paper_widths,
+)
+from repro.switchsim import (
+    IntegrationMode,
+    MeasurementDaemon,
+    SwitchSimulator,
+    SwitchPipeline,
+)
+from repro.traffic.traces import Trace
+
+#: The paper's fixed geometric sampling rate for throughput evaluation.
+DEFAULT_PROBABILITY = 0.01
+
+#: Paper sketch shapes (Section 7, "Parameters").
+CM_SHAPE = (5, 10000)
+CS_SHAPE = (5, 102400)
+KARY_SHAPE = (10, 51200)
+UNIVMON_LEVELS = 14
+UNIVMON_DEPTH = 5
+UNIVMON_K = 100
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale a packet/flow count, keeping at least ``minimum``."""
+    return max(minimum, int(value * scale))
+
+
+def vanilla_monitor(kind: str, seed: int = 0, k: int = 100):
+    """Build a paper-configured vanilla monitor: 'univmon' | 'cm' | 'cs' | 'kary'."""
+    if kind == "univmon":
+        return UnivMon(
+            levels=UNIVMON_LEVELS,
+            depth=UNIVMON_DEPTH,
+            widths=paper_widths(UNIVMON_LEVELS, UNIVMON_DEPTH),
+            k=UNIVMON_K,
+            seed=seed,
+        )
+    if kind == "cm":
+        return TrackedSketch(CountMinSketch(*CM_SHAPE, seed=seed), k=k)
+    if kind == "cs":
+        return TrackedSketch(CountSketch(*CS_SHAPE, seed=seed), k=k)
+    if kind == "kary":
+        return TrackedSketch(KArySketch(*KARY_SHAPE, seed=seed), k=k)
+    raise ValueError("unknown monitor kind %r" % (kind,))
+
+
+def nitro_monitor(
+    kind: str,
+    probability: float = DEFAULT_PROBABILITY,
+    mode: NitroMode = NitroMode.FIXED,
+    seed: int = 0,
+    k: int = 100,
+):
+    """Build the NitroSketch-accelerated counterpart of a vanilla monitor."""
+    if kind == "univmon":
+        return nitro_univmon(
+            levels=UNIVMON_LEVELS,
+            depth=UNIVMON_DEPTH,
+            widths=paper_widths(UNIVMON_LEVELS, UNIVMON_DEPTH),
+            k=UNIVMON_K,
+            probability=probability,
+            mode=mode,
+            seed=seed,
+        )
+    shapes = {"cm": CM_SHAPE, "cs": CS_SHAPE, "kary": KARY_SHAPE}
+    sketch_classes = {"cm": CountMinSketch, "cs": CountSketch, "kary": KArySketch}
+    if kind not in shapes:
+        raise ValueError("unknown monitor kind %r" % (kind,))
+    depth, width = shapes[kind]
+    config = NitroConfig(probability=probability, mode=mode, top_k=k, seed=seed)
+    return NitroSketch(sketch_classes[kind](depth, width, seed), config)
+
+
+#: Display names matching the paper's figure legends.
+MONITOR_LABELS = {
+    "univmon": "UnivMon",
+    "cm": "Count-Min",
+    "cs": "Count Sketch",
+    "kary": "K-ary",
+}
+
+
+def simulate(
+    pipeline: SwitchPipeline,
+    monitor,
+    trace: Trace,
+    mode: IntegrationMode = IntegrationMode.ALL_IN_ONE,
+    name: str = "monitor",
+    use_batch: bool = False,
+    offered_gbps: Optional[float] = 40.0,
+    batch_size: int = 32,
+    nic=None,
+):
+    """One simulator run; returns the SimulationResult."""
+    daemon = None
+    if monitor is not None:
+        daemon = MeasurementDaemon(monitor, mode, name=name, use_batch=use_batch)
+    kwargs = {}
+    if nic is not None:
+        kwargs["nic"] = nic
+    simulator = SwitchSimulator(pipeline, daemon, **kwargs)
+    return simulator.run(trace, batch_size=batch_size, offered_gbps=offered_gbps)

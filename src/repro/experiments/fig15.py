@@ -1,0 +1,80 @@
+"""Figure 15: heavy-hitter recall, NetFlow vs NitroSketch, 3 traces.
+
+Recall of the top-100 heavy hitters ("the recall rates of 100 HHs",
+Section 7.4) across epoch sizes for NetFlow at sampling rates 0.001 /
+0.002 / 0.01 vs NitroSketch+UnivMon with p = 0.01.
+
+Paper shape: NetFlow's recall is poor on the heavy-tailed CAIDA and
+DDoS traces (sampling misses borderline heavy flows entirely) and
+relatively good on the skewed datacenter trace; NitroSketch's recall is
+high everywhere because every flow has a chance to hit the counters on
+every packet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines import NetFlowMonitor
+from repro.experiments.common import nitro_monitor, scaled
+from repro.experiments.report import ExperimentResult, print_result
+from repro.metrics.accuracy import recall, top_k_truth
+from repro.traffic import caida_like, datacenter_like, ddos_like
+
+EPOCHS = (1_000_000, 4_000_000, 16_000_000, 64_000_000)
+HH_THRESHOLD = 0.0005
+
+TRACES: Dict[str, Callable] = {
+    "CAIDA": lambda n, seed: caida_like(n, n_flows=max(1000, n // 4), seed=seed),
+    "DDoS": lambda n, seed: ddos_like(
+        n, n_background_flows=max(1000, n // 8), n_attack_sources=max(1000, n // 16), seed=seed
+    ),
+    "DC": lambda n, seed: datacenter_like(n, n_flows=max(500, n // 40), seed=seed),
+}
+
+
+def run(scale: float = 0.02, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 15",
+        description="Heavy-hitter recall (%) across epochs: NetFlow at "
+        "0.001/0.002/0.01 vs NitroSketch+UnivMon p=0.01.",
+    )
+    for trace_name, make_trace in TRACES.items():
+        for epoch in EPOCHS:
+            epoch_packets = scaled(epoch, scale)
+            trace = make_trace(epoch_packets, seed + epoch % 79)
+            counts = trace.counts()
+            truth = top_k_truth(counts, 100)
+            nitro = nitro_monitor("univmon", seed=seed, k=200)
+            nitro.update_batch(trace.keys)
+            found = {key for key, _ in nitro.heavy_hitters(0.0)[:100]}
+            result.rows.append(
+                {
+                    "trace": trace_name,
+                    "epoch_packets": epoch,
+                    "system": "NitroSketch (0.01)",
+                    "recall_pct": 100 * recall(found, truth),
+                }
+            )
+            for rate in (0.01, 0.002, 0.001):
+                netflow = NetFlowMonitor(rate, seed=seed)
+                netflow.update_batch(trace.keys)
+                found = {key for key, _ in netflow.heavy_hitters(0.0)[:100]}
+                result.rows.append(
+                    {
+                        "trace": trace_name,
+                        "epoch_packets": epoch,
+                        "system": "NetFlow (%g)" % rate,
+                        "recall_pct": 100 * recall(found, truth),
+                    }
+                )
+    result.notes.append(
+        "Paper shape: NetFlow recall low on CAIDA/DDoS (worse at lower "
+        "sampling rates), good on the skewed DC trace; NitroSketch high "
+        "recall everywhere."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print_result(run())

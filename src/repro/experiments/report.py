@@ -1,0 +1,89 @@
+"""Experiment result containers and plain-text table rendering.
+
+Every experiment module returns an :class:`ExperimentResult`: a named
+set of rows (dicts) plus free-text notes.  ``format_table`` renders the
+rows the way the paper's tables/figure series read -- one line per
+configuration, columns aligned -- so ``python -m repro.experiments.fig8``
+prints something directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One figure/table reproduction."""
+
+    name: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, key: str) -> List[Any]:
+        """Extract one column across all rows (missing -> None)."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria) -> List[Dict[str, Any]]:
+        """Rows matching all key=value criteria."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        lines = ["== %s ==" % self.name, self.description, ""]
+        lines.append(format_table(self.rows))
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.4f" % value
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """Align a list of dict rows into a monospace table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), max(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Print an experiment result to stdout."""
+    print(result.render())

@@ -1,0 +1,97 @@
+"""Deterministic pseudo-random number generators.
+
+The NitroSketch data plane must draw geometric variates cheaply and
+reproducibly (paper Section 4.2, Idea B).  The C implementation uses a
+xorshift-style generator; we mirror that with two small, well-known
+generators:
+
+* :class:`SplitMix64` -- used to derive independent seeds (it is the
+  recommended seeding generator for the xorshift family).
+* :class:`XorShift64Star` -- the workhorse generator for per-packet
+  sampling decisions.
+
+Both are implemented with plain integer arithmetic masked to 64 bits so
+results are identical across platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+#: Scale factor mapping a 64-bit integer into [0, 1).
+_INV_2_64 = 1.0 / float(1 << 64)
+
+
+class SplitMix64:
+    """SplitMix64 generator (Steele, Lea & Flood 2014).
+
+    A tiny, statistically solid generator whose main role here is turning
+    one user seed into arbitrarily many independent 64-bit seeds for other
+    generators and hash families.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit output."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+        return z ^ (z >> 31)
+
+    def next_nonzero_u64(self) -> int:
+        """Return the next output, skipping zero (xorshift seeds must be nonzero)."""
+        value = self.next_u64()
+        while value == 0:
+            value = self.next_u64()
+        return value
+
+
+class XorShift64Star(object):
+    """xorshift64* generator (Vigna 2016).
+
+    Passes BigCrush on its high bits and costs three shifts, three xors and
+    one multiply per output -- a faithful stand-in for the cheap PRNG the
+    paper uses for geometric sampling.
+    """
+
+    def __init__(self, seed: int) -> None:
+        if seed == 0:
+            # A zero state would make the generator emit zeros forever.
+            seed = 0x9E3779B97F4A7C15
+        self._state = seed & MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit output."""
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & MASK64
+
+    def next_float(self) -> float:
+        """Return a float uniform in [0, 1)."""
+        return self.next_u64() * _INV_2_64
+
+    def next_below(self, bound: int) -> int:
+        """Return an integer uniform in ``[0, bound)``.
+
+        Uses the high bits (the strongest bits of xorshift64*) via the
+        multiply-shift trick, which avoids the modulo bias of ``% bound``
+        to within 2**-64.
+        """
+        if bound <= 0:
+            raise ValueError("bound must be positive, got %r" % (bound,))
+        return (self.next_u64() * bound) >> 64
+
+    def getstate(self) -> int:
+        """Return the internal state (for checkpointing)."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        """Restore a state previously returned by :meth:`getstate`."""
+        if state == 0:
+            raise ValueError("xorshift64* state must be nonzero")
+        self._state = state & MASK64

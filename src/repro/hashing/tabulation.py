@@ -1,0 +1,86 @@
+"""Simple tabulation hashing.
+
+Tabulation hashing (Zobrist 1970; analysed by Patrascu & Thorup 2012) is
+3-independent yet behaves essentially like a fully random function for
+Chernoff-style concentration -- a good high-quality alternative where a
+sketch row wants stronger-than-pairwise behaviour without the cost of a
+high-degree polynomial.  We use it for the UnivMon substream samplers,
+which in the paper are implemented with strong hash functions.
+
+A 64-bit key is split into 8 bytes; each byte indexes a table of 256
+random 64-bit words, and the words are XORed together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.prng import SplitMix64
+
+
+class TabulationHash:
+    """Tabulation hash ``[0, 2**64) -> [0, 2**64)`` (or reduced to a width).
+
+    Parameters
+    ----------
+    seed:
+        Deterministic seed for the eight lookup tables.
+    width:
+        Optional output range; when given, the 64-bit hash is reduced
+        with the multiply-shift trick (unbiased to within 2**-64).
+    """
+
+    NUM_CHUNKS = 8
+    CHUNK_BITS = 8
+
+    def __init__(self, seed: int, width: int = 0) -> None:
+        if width < 0:
+            raise ValueError("width must be non-negative, got %d" % width)
+        self.width = width
+        rng = SplitMix64(seed)
+        tables = np.empty((self.NUM_CHUNKS, 1 << self.CHUNK_BITS), dtype=np.uint64)
+        for chunk in range(self.NUM_CHUNKS):
+            for byte in range(1 << self.CHUNK_BITS):
+                tables[chunk, byte] = rng.next_u64()
+        self._tables = tables
+
+    def hash64(self, key: int) -> int:
+        """Return the full 64-bit tabulation hash of ``key``."""
+        key &= (1 << 64) - 1
+        acc = 0
+        for chunk in range(self.NUM_CHUNKS):
+            byte = (key >> (chunk * self.CHUNK_BITS)) & 0xFF
+            acc ^= int(self._tables[chunk, byte])
+        return acc
+
+    def __call__(self, key: int) -> int:
+        """Hash ``key``; ranged to ``[0, width)`` when a width was given."""
+        h = self.hash64(key)
+        if self.width:
+            return (h * self.width) >> 64
+        return h
+
+    def bit(self, key: int) -> int:
+        """Return a single unbiased hash bit (used by substream samplers)."""
+        return self.hash64(key) & 1
+
+    def batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorised 64-bit hashing of an integer key array."""
+        ks = np.asarray(keys).astype(np.uint64)
+        acc = np.zeros(ks.shape, dtype=np.uint64)
+        for chunk in range(self.NUM_CHUNKS):
+            bytes_ = ((ks >> np.uint64(chunk * self.CHUNK_BITS)) & np.uint64(0xFF))
+            acc ^= self._tables[chunk][bytes_.astype(np.int64)]
+        return acc
+
+    def bit_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`bit`: one unbiased bit per key (int64 0/1)."""
+        return (self.batch(keys) & np.uint64(1)).astype(np.int64)
+
+    def batch_ranged(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorised hashing reduced to ``[0, width)`` (requires a width)."""
+        if not self.width:
+            raise ValueError("batch_ranged requires a nonzero width")
+        full = self.batch(keys)
+        # Multiply-shift range reduction in two 32-bit halves to stay exact.
+        return (full % np.uint64(self.width)).astype(np.int64)

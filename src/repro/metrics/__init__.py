@@ -1,0 +1,57 @@
+"""Evaluation metrics and instrumentation for the NitroSketch reproduction.
+
+* :mod:`repro.metrics.opcount` -- per-category operation counters (hash,
+  counter update, heap, PRNG, memcpy) that every sketch and baseline can
+  record into; the switch simulator's cost model converts these counts to
+  CPU cycles and throughput.
+* :mod:`repro.metrics.accuracy` -- relative error, mean relative error,
+  recall/precision for heavy hitters, and ground-truth helpers.
+* :mod:`repro.metrics.throughput` -- unit conversions between Gbps, Mpps
+  and cycles/packet for the line rates the paper quotes.
+"""
+
+from repro.metrics.opcount import OpCounter, NULL_OPS, NullOps
+from repro.metrics.accuracy import (
+    relative_error,
+    mean_relative_error,
+    recall,
+    precision,
+    f1_score,
+    heavy_hitter_truth,
+    top_k_truth,
+    change_truth,
+    exact_counts,
+    empirical_entropy,
+    l2_norm,
+)
+from repro.metrics.throughput import (
+    gbps_to_mpps,
+    mpps_to_gbps,
+    cycles_per_packet_to_mpps,
+    mpps_to_cycles_per_packet,
+    LINE_RATE_10G_64B_MPPS,
+    LINE_RATE_40G_64B_MPPS,
+)
+
+__all__ = [
+    "OpCounter",
+    "NULL_OPS",
+    "NullOps",
+    "relative_error",
+    "mean_relative_error",
+    "recall",
+    "precision",
+    "f1_score",
+    "heavy_hitter_truth",
+    "top_k_truth",
+    "change_truth",
+    "exact_counts",
+    "l2_norm",
+    "empirical_entropy",
+    "gbps_to_mpps",
+    "mpps_to_gbps",
+    "cycles_per_packet_to_mpps",
+    "mpps_to_cycles_per_packet",
+    "LINE_RATE_10G_64B_MPPS",
+    "LINE_RATE_40G_64B_MPPS",
+]

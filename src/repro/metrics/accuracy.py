@@ -1,0 +1,150 @@
+"""Accuracy metrics used throughout the paper's evaluation (Section 7).
+
+The paper reports, per task:
+
+* *relative error* ``|t - t_real| / t_real`` for scalar estimates
+  (entropy, distinct count, change magnitude);
+* *mean relative error* over the set of detected heavy flows (Figures
+  11, 12, 14);
+* *recall* -- the ratio of true instances found (Figure 15).
+
+Ground-truth helpers compute exact flow counts and empirical entropy from
+a key sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Sequence, Set
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Return ``|estimate - truth| / truth``.
+
+    A truth of zero with a nonzero estimate yields ``inf``; zero/zero
+    yields ``0.0`` (a correct estimate of an absent quantity).
+    """
+    if truth == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - truth) / abs(truth)
+
+
+def mean_relative_error(
+    estimates: Mapping[int, float], truths: Mapping[int, float]
+) -> float:
+    """Mean relative error over the keys of ``estimates``.
+
+    This matches the paper's heavy-hitter error metric: the error is
+    averaged over the *detected* flows, each compared to its true size.
+    Returns 0.0 when ``estimates`` is empty.
+    """
+    if not estimates:
+        return 0.0
+    total = 0.0
+    for key, estimate in estimates.items():
+        total += relative_error(estimate, truths.get(key, 0))
+    return total / len(estimates)
+
+
+def recall(found: Set[int], truth: Set[int]) -> float:
+    """Fraction of true instances found.  1.0 when truth is empty."""
+    if not truth:
+        return 1.0
+    return len(found & truth) / len(truth)
+
+
+def precision(found: Set[int], truth: Set[int]) -> float:
+    """Fraction of reported instances that are true.  1.0 when none reported."""
+    if not found:
+        return 1.0
+    return len(found & truth) / len(found)
+
+
+def f1_score(found: Set[int], truth: Set[int]) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(found, truth)
+    r = recall(found, truth)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def exact_counts(keys: Iterable[int]) -> Dict[int, int]:
+    """Exact per-flow packet counts (the ground-truth frequency vector)."""
+    return dict(Counter(keys))
+
+
+def heavy_hitter_truth(
+    counts: Mapping[int, int], threshold_fraction: float
+) -> Set[int]:
+    """Flows whose count exceeds ``threshold_fraction`` of the total (L1).
+
+    The paper uses a 0.05% threshold of total traffic for the HH and
+    change-detection tasks (Section 7, "Sketches and metrics").
+    """
+    total = sum(counts.values())
+    threshold = threshold_fraction * total
+    return {key for key, count in counts.items() if count > threshold}
+
+
+def top_k_truth(counts: Mapping[int, int], k: int) -> Set[int]:
+    """The ``k`` largest flows (ties broken by key for determinism)."""
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return {key for key, _ in ranked[:k]}
+
+
+def empirical_entropy(counts: Mapping[int, int]) -> float:
+    """Empirical Shannon entropy (base 2) of the flow-size distribution.
+
+    ``H = -sum (f_x / m) log2 (f_x / m)`` where ``m`` is the total packet
+    count -- the entropy definition the paper's entropy-estimation task
+    targets (via Lall et al. [52]).
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        if count > 0:
+            frac = count / total
+            entropy -= frac * math.log2(frac)
+    return entropy
+
+
+def change_truth(
+    before: Mapping[int, int],
+    after: Mapping[int, int],
+    threshold_fraction: float,
+) -> Set[int]:
+    """Flows whose count change across two epochs exceeds the threshold.
+
+    Change detection (K-ary sketch, [51]): a flow is a *heavy changer* if
+    ``|f_after - f_before|`` exceeds ``threshold_fraction`` of the total
+    change ``sum |f_after - f_before|``.
+    """
+    keys = set(before) | set(after)
+    deltas = {key: abs(after.get(key, 0) - before.get(key, 0)) for key in keys}
+    total_change = sum(deltas.values())
+    if total_change == 0:
+        return set()
+    threshold = threshold_fraction * total_change
+    return {key for key, delta in deltas.items() if delta > threshold}
+
+
+def l2_norm(counts: Mapping[int, int]) -> float:
+    """The second norm of the frequency vector (paper Section 5)."""
+    return math.sqrt(sum(value * value for value in counts.values()))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median with the even-length convention of sketch row aggregation.
+
+    Sketch implementations conventionally take the lower-middle element
+    for even row counts (so the estimate is one of the row estimates,
+    never an average of two).  Kept here so all sketches agree.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of an empty sequence")
+    return ordered[(len(ordered) - 1) // 2]

@@ -1,0 +1,154 @@
+"""Per-category CPU operation counters.
+
+The paper's bottleneck analysis (Section 3) decomposes a sketch's
+per-packet cost into hash computations (``H``), counter updates with
+memory copies (``C``), and heavy-key bookkeeping such as heap updates
+(``P``); Section 4.1 adds per-packet PRNG draws as a fourth cost.  Every
+sketch, baseline, and switch component in this repository records its work
+into an :class:`OpCounter` with exactly those categories, and
+:mod:`repro.switchsim.costmodel` converts the counts into CPU cycles and
+throughput.  This makes "who is faster and by how much" an *observed*
+property of the implementations rather than an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class OpCounter:
+    """Mutable tally of bottleneck operations.
+
+    Attributes mirror the paper's cost taxonomy:
+
+    * ``hashes`` -- independent hash computations (cost ``H`` each).
+    * ``counter_updates`` -- sketch counter read-modify-writes (cost ``C``).
+    * ``heap_ops`` -- heavy-key structure operations (cost ``P``).
+    * ``prng_draws`` -- random number generations (coin flips / geometric).
+    * ``memcpys`` -- packet-header or buffer copies.
+    * ``table_lookups`` -- hash-table probes (baselines, switch caches).
+    * ``packets`` -- packets processed, the denominator for all rates.
+    """
+
+    hashes: int = 0
+    counter_updates: int = 0
+    heap_ops: int = 0
+    prng_draws: int = 0
+    memcpys: int = 0
+    table_lookups: int = 0
+    packets: int = 0
+    #: Direct cycle charges for work outside the operation taxonomy
+    #: (PMD receive, miniflow extraction, graph-node dispatch, ...).
+    fixed_cycles: float = 0.0
+
+    def hash(self, count: int = 1) -> None:
+        self.hashes += count
+
+    def counter_update(self, count: int = 1) -> None:
+        self.counter_updates += count
+
+    def heap_op(self, count: int = 1) -> None:
+        self.heap_ops += count
+
+    def prng(self, count: int = 1) -> None:
+        self.prng_draws += count
+
+    def memcpy(self, count: int = 1) -> None:
+        self.memcpys += count
+
+    def table_lookup(self, count: int = 1) -> None:
+        self.table_lookups += count
+
+    def packet(self, count: int = 1) -> None:
+        self.packets += count
+
+    def fixed(self, cycles: float) -> None:
+        """Charge raw cycles (pipeline overheads outside the taxonomy)."""
+        self.fixed_cycles += cycles
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hashes = 0
+        self.counter_updates = 0
+        self.heap_ops = 0
+        self.prng_draws = 0
+        self.memcpys = 0
+        self.table_lookups = 0
+        self.packets = 0
+        self.fixed_cycles = 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counts as a plain dictionary."""
+        return {
+            "hashes": self.hashes,
+            "counter_updates": self.counter_updates,
+            "heap_ops": self.heap_ops,
+            "prng_draws": self.prng_draws,
+            "memcpys": self.memcpys,
+            "table_lookups": self.table_lookups,
+            "packets": self.packets,
+            "fixed_cycles": self.fixed_cycles,
+        }
+
+    def per_packet(self) -> Dict[str, float]:
+        """Return per-packet averages (the paper's ``d1·H + d2·C + P`` view)."""
+        denom = max(self.packets, 1)
+        return {
+            name: count / denom
+            for name, count in self.as_dict().items()
+            if name != "packets"
+        }
+
+    def merge(self, other: "OpCounter") -> None:
+        """Accumulate another counter's totals into this one."""
+        self.hashes += other.hashes
+        self.counter_updates += other.counter_updates
+        self.heap_ops += other.heap_ops
+        self.prng_draws += other.prng_draws
+        self.memcpys += other.memcpys
+        self.table_lookups += other.table_lookups
+        self.packets += other.packets
+        self.fixed_cycles += other.fixed_cycles
+
+
+class NullOps:
+    """A no-op counter with the :class:`OpCounter` recording interface.
+
+    Used as the default ``ops`` sink so the accuracy-only code paths pay
+    nothing for instrumentation.
+    """
+
+    __slots__ = ()
+
+    def hash(self, count: int = 1) -> None:
+        pass
+
+    def counter_update(self, count: int = 1) -> None:
+        pass
+
+    def heap_op(self, count: int = 1) -> None:
+        pass
+
+    def prng(self, count: int = 1) -> None:
+        pass
+
+    def memcpy(self, count: int = 1) -> None:
+        pass
+
+    def table_lookup(self, count: int = 1) -> None:
+        pass
+
+    def packet(self, count: int = 1) -> None:
+        pass
+
+    def fixed(self, cycles: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared no-op sink; safe because :class:`NullOps` is stateless.
+NULL_OPS = NullOps()

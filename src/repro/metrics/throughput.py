@@ -1,0 +1,51 @@
+"""Throughput unit conversions.
+
+The paper quotes rates in both Gbps (wire throughput, including Ethernet
+framing overhead) and Mpps (packets per second).  The conversions here use
+the standard Ethernet accounting the paper's numbers imply:
+
+* each packet on the wire costs its payload size plus 20 bytes of
+  preamble + inter-frame gap + FCS framing (so a 64 B packet occupies
+  84 B of wire time);
+* 10 Gbps of 64 B packets = 14.88 Mpps and 40 Gbps = 59.52 Mpps, the
+  figures quoted in Sections 2 and 7.
+"""
+
+from __future__ import annotations
+
+#: Per-packet Ethernet overhead on the wire (preamble 8 B + IFG 12 B), bytes.
+WIRE_OVERHEAD_BYTES = 20
+
+#: Line-rate packet rates for minimum-sized (64 B) packets, in Mpps.
+LINE_RATE_10G_64B_MPPS = 14.88
+LINE_RATE_40G_64B_MPPS = 59.52
+
+
+def gbps_to_mpps(gbps: float, packet_size_bytes: float) -> float:
+    """Convert a wire rate in Gbps to Mpps for a given mean packet size."""
+    if packet_size_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    bits_per_packet = (packet_size_bytes + WIRE_OVERHEAD_BYTES) * 8
+    return gbps * 1e9 / bits_per_packet / 1e6
+
+
+def mpps_to_gbps(mpps: float, packet_size_bytes: float) -> float:
+    """Convert a packet rate in Mpps to a wire rate in Gbps."""
+    if packet_size_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    bits_per_packet = (packet_size_bytes + WIRE_OVERHEAD_BYTES) * 8
+    return mpps * 1e6 * bits_per_packet / 1e9
+
+
+def cycles_per_packet_to_mpps(cycles_per_packet: float, clock_ghz: float) -> float:
+    """Packet rate a core sustains spending ``cycles_per_packet`` per packet."""
+    if cycles_per_packet <= 0:
+        raise ValueError("cycles per packet must be positive")
+    return clock_ghz * 1e9 / cycles_per_packet / 1e6
+
+
+def mpps_to_cycles_per_packet(mpps: float, clock_ghz: float) -> float:
+    """Cycle budget per packet available at a given packet rate."""
+    if mpps <= 0:
+        raise ValueError("packet rate must be positive")
+    return clock_ghz * 1e9 / (mpps * 1e6)

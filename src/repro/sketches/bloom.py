@@ -1,0 +1,144 @@
+"""Bloom filters (plain and counting).
+
+Membership filters are a workhorse of the measurement stacks the paper
+cites (e.g. the sliding Bloom filter of [6] for distinct/entropy over
+windows, and flow-table admission front-ends).  Two classic variants:
+
+* :class:`BloomFilter` -- k hash functions over an m-bit array; no
+  false negatives, false-positive rate ``(1 - e^{-kn/m})^k``.
+* :class:`CountingBloomFilter` -- 4-bit-style counters instead of bits,
+  supporting deletions (the form flow tables use to expire entries).
+
+Both use the standard double-hashing construction
+``h_i(x) = h1(x) + i*h2(x) mod m`` (Kirsch & Mitzenmacher), so each
+update costs two base hashes regardless of k.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from repro.hashing.families import MultiplyShiftHash, derive_seeds
+from repro.metrics.opcount import NULL_OPS
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float):
+    """(bits, hashes) minimising memory for a target FP rate."""
+    if expected_items < 1:
+        raise ValueError("expected_items must be >= 1")
+    if not 0 < false_positive_rate < 1:
+        raise ValueError("false_positive_rate must be in (0, 1)")
+    bits = int(
+        math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2))
+    )
+    hashes = max(1, round(bits / expected_items * math.log(2)))
+    return bits, hashes
+
+
+class BloomFilter:
+    """Standard Bloom filter with double hashing."""
+
+    def __init__(self, bits: int, hashes: int = 4, seed: int = 0) -> None:
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        if hashes < 1:
+            raise ValueError("hashes must be >= 1")
+        self.bits = bits
+        self.hashes = hashes
+        self.ops = NULL_OPS
+        seeds = derive_seeds(seed, 2)
+        self._h1 = MultiplyShiftHash(bits, seeds[0])
+        self._h2 = MultiplyShiftHash(max(bits - 1, 1), seeds[1])
+        self._array = np.zeros(bits, dtype=bool)
+        self.items_added = 0
+
+    @classmethod
+    def for_capacity(
+        cls, expected_items: int, false_positive_rate: float = 0.01, seed: int = 0
+    ) -> "BloomFilter":
+        bits, hashes = optimal_parameters(expected_items, false_positive_rate)
+        return cls(bits, hashes, seed)
+
+    def _positions(self, key: int):
+        base = self._h1(key)
+        step = self._h2(key) + 1  # nonzero step keeps probes distinct
+        return [(base + i * step) % self.bits for i in range(self.hashes)]
+
+    def add(self, key: int) -> None:
+        self.ops.hash(2)
+        self.ops.counter_update(self.hashes)
+        for position in self._positions(key):
+            self._array[position] = True
+        self.items_added += 1
+
+    def __contains__(self, key: int) -> bool:
+        self.ops.hash(2)
+        return all(self._array[position] for position in self._positions(key))
+
+    def expected_false_positive_rate(self) -> float:
+        """The analytic FP rate at the current fill."""
+        fill = float(np.count_nonzero(self._array)) / self.bits
+        return fill**self.hashes
+
+    def memory_bytes(self) -> int:
+        return (self.bits + 7) // 8
+
+    def reset(self) -> None:
+        self._array.fill(False)
+        self.items_added = 0
+
+
+class CountingBloomFilter:
+    """Bloom filter with small counters, supporting removal."""
+
+    def __init__(
+        self, counters: int, hashes: int = 4, seed: int = 0, counter_bits: int = 4
+    ) -> None:
+        if counters < 1:
+            raise ValueError("counters must be >= 1")
+        if hashes < 1:
+            raise ValueError("hashes must be >= 1")
+        self.counters = counters
+        self.hashes = hashes
+        self.counter_bits = counter_bits
+        self.max_count = (1 << counter_bits) - 1
+        self.ops = NULL_OPS
+        seeds = derive_seeds(seed ^ 0xCB, 2)
+        self._h1 = MultiplyShiftHash(counters, seeds[0])
+        self._h2 = MultiplyShiftHash(max(counters - 1, 1), seeds[1])
+        self._array = np.zeros(counters, dtype=np.int32)
+
+    def _positions(self, key: int):
+        base = self._h1(key)
+        step = self._h2(key) + 1
+        return [(base + i * step) % self.counters for i in range(self.hashes)]
+
+    def add(self, key: int) -> None:
+        self.ops.hash(2)
+        self.ops.counter_update(self.hashes)
+        for position in self._positions(key):
+            if self._array[position] < self.max_count:
+                self._array[position] += 1
+
+    def remove(self, key: int) -> None:
+        """Remove one previous insertion of ``key``.
+
+        Removing a key that was never added corrupts the filter (the
+        classic counting-Bloom caveat); callers must pair adds/removes.
+        """
+        self.ops.hash(2)
+        self.ops.counter_update(self.hashes)
+        for position in self._positions(key):
+            if self._array[position] > 0:
+                self._array[position] -= 1
+
+    def __contains__(self, key: int) -> bool:
+        self.ops.hash(2)
+        return all(self._array[position] > 0 for position in self._positions(key))
+
+    def memory_bytes(self) -> int:
+        return (self.counters * self.counter_bits + 7) // 8
+
+    def reset(self) -> None:
+        self._array.fill(0)

@@ -1,0 +1,86 @@
+"""K-ary sketch for change detection (Krishnamurthy et al. 2003, ref [51]).
+
+Structurally a ``d x w`` unsigned counter grid, but the point estimator
+removes the per-bucket background mass:
+
+    est_i(x) = (C[i][h_i(x)] - m/w) / (1 - 1/w),      est = median_i est_i
+
+where ``m`` is the total stream weight.  This unbiased estimator is what
+lets the K-ary sketch detect *heavy changers*: build one sketch per epoch,
+subtract (the structure is linear), and query the difference sketch.
+
+The paper runs K-ary as one of the four NitroSketch-accelerated sketches
+(10 rows x 51200 counters / 2 MB, Section 7 parameters) and uses it for
+the change-detection task in Figure 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sketches.base import CanonicalSketch
+
+
+class KArySketch(CanonicalSketch):
+    """K-ary sketch: unsigned updates, mean-corrected median query."""
+
+    def __init__(
+        self, depth: int, width: int, seed: int = 0, hash_family: str = "multiply_shift"
+    ) -> None:
+        super().__init__(depth, width, seed, signed=False, hash_family=hash_family)
+        self.total = 0.0
+
+    def row_update(self, row: int, key: int, increment: float) -> None:
+        # All updates (vanilla and NitroSketch row-sampled) flow through
+        # here.  Each row sees an unbiased p^-1-scaled share of the stream,
+        # so accumulating increment/depth keeps E[total] equal to the true
+        # stream weight under both update disciplines.
+        super().row_update(row, key, increment)
+        self.total += increment / self.depth
+
+    def update_batch(self, keys: "np.ndarray", weights: Optional["np.ndarray"] = None) -> None:
+        keys = np.asarray(keys)
+        super().update_batch(keys, weights)
+        if weights is None:
+            self.total += float(len(keys))
+        else:
+            self.total += float(np.sum(weights))
+
+    def note_batch_mass(self, mass: float) -> None:
+        # Each row_update would have added increment/depth; a batch that
+        # applied ``mass`` total increments contributes mass/depth.
+        self.total += mass / self.depth
+
+    def combine_rows(self, estimates: List[float]) -> float:
+        ordered = sorted(estimates)
+        return ordered[(len(ordered) - 1) // 2]
+
+    def row_estimate(self, row: int, key: int) -> float:
+        bucket = self.row_hashes[row](key)
+        raw = self.counters[row, bucket]
+        if self.width == 1:
+            return raw
+        return (raw - self.total / self.width) / (1.0 - 1.0 / self.width)
+
+    def difference(self, other: "KArySketch") -> "KArySketch":
+        """Return the (self - other) sketch for change detection.
+
+        Both sketches must share seed and shape.  The result's queries
+        estimate ``f_x(self) - f_x(other)``.
+        """
+        if (
+            other.depth != self.depth
+            or other.width != self.width
+            or other.seed != self.seed
+        ):
+            raise ValueError("can only subtract sketches with identical configuration")
+        diff = KArySketch(self.depth, self.width, self.seed)
+        diff.counters = self.counters - other.counters
+        diff.total = self.total - other.total
+        return diff
+
+    def reset(self) -> None:
+        super().reset()
+        self.total = 0.0

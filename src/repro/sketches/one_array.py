@@ -1,0 +1,45 @@
+"""Strawman 1: the One-Array Count Sketch (paper Section 4.1).
+
+"Reduce the number of hash functions and arrays": collapse the ``d x w``
+grid into a single hash-indexed array, so each packet costs exactly one
+bucket hash, one sign hash, and one counter update (1H, 1C).  To retain a
+``1 - delta`` success probability *without* row medians the array must
+grow from ``O(eps**-2 log(1/delta))`` to ``O(eps**-2 / delta)`` counters
+-- roughly 50x more memory at ``delta = 0.01`` -- which evicts the sketch
+from the last-level cache and, in the paper's measurements, erases the
+speedup.  NitroSketch's Theorem-2 discussion compares against this
+directly, so we keep it as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.sketches.base import CanonicalSketch
+
+
+class OneArrayCountSketch(CanonicalSketch):
+    """Count Sketch squeezed into a single row."""
+
+    def __init__(self, width: int, seed: int = 0) -> None:
+        super().__init__(1, width, seed, signed=True)
+
+    def combine_rows(self, estimates: List[float]) -> float:
+        return estimates[0]
+
+    @classmethod
+    def from_error_bounds(cls, epsilon: float, delta: float, seed: int = 0) -> "OneArrayCountSketch":
+        """Size for an ``eps*L2`` error with prob ``1-delta`` in one row.
+
+        Without the median trick the failure probability of a single
+        Chebyshev row must itself be ``delta``, forcing
+        ``w = ceil(3 / (eps**2 * delta))`` counters (paper Section 4.1:
+        ``O(eps**-2 delta**-1)``).
+        """
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1), got %r" % (epsilon,))
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1), got %r" % (delta,))
+        width = int(math.ceil(3.0 / (epsilon * epsilon * delta)))
+        return cls(width, seed)

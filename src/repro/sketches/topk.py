@@ -1,0 +1,126 @@
+"""Top-k heavy-key store (the paper's "TopKeys" structure).
+
+Sketches only hold anonymous counters; to *report* heavy hitters one must
+also remember which keys are large (paper Section 3, Bottleneck 3).  The
+standard implementation -- and the one profiled in Table 2 (``heap_find``,
+``heapify``) -- is a min-heap of the current top-k keys alongside a
+membership dictionary.
+
+On every tracked update the caller offers ``(key, estimate)``; the store
+admits the key if the estimate beats the current minimum.  Heap operations
+are recorded in the ``ops`` sink so the cost model sees cost ``P``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Tuple
+
+from repro.metrics.opcount import NULL_OPS
+
+
+class TopK:
+    """Min-heap keyed store of the ``k`` (approximately) largest flows.
+
+    Entries are lazily invalidated: re-offering a key pushes a fresh heap
+    entry and marks the old one stale, which keeps offers O(log k) without
+    a decrease-key primitive.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1, got %d" % k)
+        self.k = k
+        self.ops = NULL_OPS
+        self._heap: List[Tuple[float, int]] = []
+        self._best: Dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._best
+
+    def offer(self, key: int, estimate: float) -> bool:
+        """Offer a (key, estimate) pair; returns True if the key is tracked.
+
+        Mirrors the sketch workflow in Figure 7: after updating counters,
+        the estimated size of the current key is compared against the
+        heap minimum.  The membership probe is billed as a table lookup
+        (VTune's ``heap_find``); only actual heap modifications are
+        billed as heap operations (``heapify``).
+        """
+        self.ops.table_lookup()
+        current = self._best.get(key)
+        if current is not None:
+            if estimate <= current:
+                return True
+            self._best[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+            self.ops.heap_op()
+            return True
+
+        if len(self._best) < self.k:
+            self._best[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+            self.ops.heap_op()
+            return True
+
+        min_estimate, _ = self._peek_valid()
+        if estimate <= min_estimate:
+            return False
+
+        # Evict the current minimum and admit the newcomer.
+        _, evicted = self._pop_valid()
+        del self._best[evicted]
+        self._best[key] = estimate
+        heapq.heappush(self._heap, (estimate, key))
+        self.ops.heap_op(2)
+        return True
+
+    def _peek_valid(self) -> Tuple[float, int]:
+        """Return the smallest non-stale heap entry without removing it."""
+        while self._heap:
+            estimate, key = self._heap[0]
+            if self._best.get(key) == estimate:
+                return estimate, key
+            heapq.heappop(self._heap)  # stale entry
+        raise IndexError("TopK heap is empty")
+
+    def _pop_valid(self) -> Tuple[float, int]:
+        """Pop the smallest non-stale entry."""
+        while self._heap:
+            estimate, key = heapq.heappop(self._heap)
+            if self._best.get(key) == estimate:
+                return estimate, key
+        raise IndexError("TopK heap is empty")
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate over tracked ``(key, estimate)`` pairs (unordered)."""
+        return iter(self._best.items())
+
+    def keys(self) -> List[int]:
+        """The tracked keys (unordered)."""
+        return list(self._best.keys())
+
+    def estimate(self, key: int) -> float:
+        """The stored estimate for ``key`` (KeyError if untracked)."""
+        return self._best[key]
+
+    def ranked(self) -> List[Tuple[int, float]]:
+        """Tracked pairs sorted by estimate, largest first."""
+        return sorted(self._best.items(), key=lambda item: (-item[1], item[0]))
+
+    def min_estimate(self) -> float:
+        """The smallest tracked estimate (0.0 when empty)."""
+        if not self._best:
+            return 0.0
+        return self._peek_valid()[0]
+
+    def memory_bytes(self) -> int:
+        """Rough footprint: heap entries + dict entries at 16 B each."""
+        return (len(self._heap) + len(self._best)) * 16
+
+    def reset(self) -> None:
+        self._heap.clear()
+        self._best.clear()

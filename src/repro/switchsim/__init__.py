@@ -1,0 +1,90 @@
+"""Software-switch simulation substrate.
+
+The paper's testbed (OVS-DPDK / FD.io-VPP / BESS on a Xeon E5-2620 v4
+with 40 GbE XL710 NICs) is reproduced as a discrete simulator:
+
+* :mod:`repro.switchsim.packet` -- five-tuples and flow-key folding.
+* :mod:`repro.switchsim.pipeline` -- platform forwarding models (OVS's
+  EMC/classifier three-tier lookup, VPP's graph nodes, BESS modules,
+  raw DPDK, and an in-memory null pipeline).
+* :mod:`repro.switchsim.costmodel` -- the calibrated cycle cost model +
+  LLC residency model that turns operation counts into Mpps/Gbps.
+* :mod:`repro.switchsim.nic` -- NIC delivery limits (XL710 small-packet
+  ceiling).
+* :mod:`repro.switchsim.daemon` -- AIO vs separate-thread measurement
+  integration.
+* :mod:`repro.switchsim.simulator` -- end-to-end runs producing the
+  throughput / CPU-share / hotspot numbers of the evaluation figures.
+"""
+
+from repro.switchsim.packet import FiveTuple, Packet, ip_to_int, int_to_ip
+from repro.switchsim.costmodel import (
+    CycleCosts,
+    DEFAULT_COSTS,
+    CycleBreakdown,
+    CostModel,
+)
+from repro.switchsim.pipeline import (
+    SwitchPipeline,
+    DPDKForwarder,
+    OVSDPDKPipeline,
+    TupleSpaceClassifier,
+    VPPPipeline,
+    GraphNode,
+    EthernetInputNode,
+    IP4InputNode,
+    IP4LookupNode,
+    IP4RewriteNode,
+    MeasurementNode,
+    BESSPipeline,
+    BESSModule,
+    PortIncModule,
+    L2ForwardModule,
+    PortOutModule,
+    SketchModule,
+    InMemoryPipeline,
+)
+from repro.switchsim.nic import NICModel, XL710_40G, BCM5720_1G, GENERIC_10G, UNLIMITED
+from repro.switchsim.daemon import IntegrationMode, MeasurementDaemon
+from repro.switchsim.simulator import SwitchSimulator, SimulationResult
+from repro.switchsim.multicore import MultiCoreSimulator, MultiCoreResult
+
+__all__ = [
+    "FiveTuple",
+    "Packet",
+    "ip_to_int",
+    "int_to_ip",
+    "CycleCosts",
+    "DEFAULT_COSTS",
+    "CycleBreakdown",
+    "CostModel",
+    "SwitchPipeline",
+    "DPDKForwarder",
+    "OVSDPDKPipeline",
+    "TupleSpaceClassifier",
+    "VPPPipeline",
+    "GraphNode",
+    "EthernetInputNode",
+    "IP4InputNode",
+    "IP4LookupNode",
+    "IP4RewriteNode",
+    "MeasurementNode",
+    "BESSPipeline",
+    "BESSModule",
+    "PortIncModule",
+    "L2ForwardModule",
+    "PortOutModule",
+    "SketchModule",
+    "InMemoryPipeline",
+    "NICModel",
+    "XL710_40G",
+    "BCM5720_1G",
+    "GENERIC_10G",
+    "UNLIMITED",
+    "IntegrationMode",
+    "MeasurementDaemon",
+    "SwitchSimulator",
+    "SimulationResult",
+    "MultiCoreSimulator",
+    "MultiCoreResult",
+]

@@ -1,0 +1,179 @@
+"""CPU cycle cost model -- the throughput substrate.
+
+The paper's throughput numbers come from a Xeon E5-2620 v4 (2.1 GHz,
+20 MB LLC) driving 40 GbE XL710 NICs.  Python cannot push 59.52 Mpps, so
+this repository derives throughput the way the paper's *analysis*
+does: count the bottleneck operations each algorithm actually performs
+(the :class:`~repro.metrics.opcount.OpCounter` every component records
+into) and convert them to cycles with per-operation costs, including an
+LLC-residency model for the random-access structures.
+
+Calibration (documented in DESIGN.md):
+
+* unit costs are set so the *baseline anchors the paper reports* come
+  out right -- DPDK alone ~22 Mpps with min-sized packets (Section 7.2),
+  OVS-DPDK forwarding at 40 G line rate for CAIDA packets (Figure 8a),
+  vanilla UnivMon ~2 Mpps (Figure 2), in-memory NitroSketch ~83 Mpps
+  (Figure 13a);
+* the LLC model charges a DRAM penalty on counter updates and table
+  lookups with probability ``max(0, 1 - llc/working_set)`` -- the
+  standard random-access-over-uniform-working-set approximation, which
+  is what makes Strawman 1 and the hashtable baseline collapse
+  (Figures 3a, 9a) exactly as the paper describes.
+
+Who wins, and by what factor, is therefore an *observed* property of
+the implementations' operation counts; only the unit costs are assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.metrics.opcount import OpCounter
+from repro.metrics.throughput import cycles_per_packet_to_mpps, mpps_to_gbps
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Per-operation cycle costs and machine parameters.
+
+    Defaults model the paper's testbed CPU (E5-2620 v4 @ 2.1 GHz,
+    20 MB L3).  ``hash`` is an xxhash32 of a 13-byte key including key
+    marshalling; ``counter_update`` is an L1/L2-resident read-modify-
+    write (the LLC model adds the miss penalty separately).
+    """
+
+    hash: float = 45.0
+    counter_update: float = 10.0
+    heap_op: float = 110.0
+    prng: float = 35.0
+    memcpy: float = 50.0
+    table_lookup: float = 30.0
+    dram_penalty: float = 70.0
+    llc_bytes: int = 20 * 2**20
+    clock_ghz: float = 2.1
+
+
+#: The testbed defaults.
+DEFAULT_COSTS = CycleCosts()
+
+
+@dataclass
+class CycleBreakdown:
+    """Cycles attributed per cost category (totals, not per-packet)."""
+
+    hash: float = 0.0
+    counter_update: float = 0.0
+    heap_op: float = 0.0
+    prng: float = 0.0
+    memcpy: float = 0.0
+    table_lookup: float = 0.0
+    cache_miss: float = 0.0
+    fixed: float = 0.0
+    packets: int = 0
+
+    def total(self) -> float:
+        return (
+            self.hash
+            + self.counter_update
+            + self.heap_op
+            + self.prng
+            + self.memcpy
+            + self.table_lookup
+            + self.cache_miss
+            + self.fixed
+        )
+
+    def per_packet(self) -> float:
+        return self.total() / max(self.packets, 1)
+
+    def shares(self) -> Dict[str, float]:
+        """Fraction of total cycles per category (the Table-2 view)."""
+        total = self.total()
+        if total <= 0:
+            return {}
+        return {
+            "hash": self.hash / total,
+            "counter_update": self.counter_update / total,
+            "heap_op": self.heap_op / total,
+            "prng": self.prng / total,
+            "memcpy": self.memcpy / total,
+            "table_lookup": self.table_lookup / total,
+            "cache_miss": self.cache_miss / total,
+            "fixed": self.fixed / total,
+        }
+
+    def merge(self, other: "CycleBreakdown") -> None:
+        self.hash += other.hash
+        self.counter_update += other.counter_update
+        self.heap_op += other.heap_op
+        self.prng += other.prng
+        self.memcpy += other.memcpy
+        self.table_lookup += other.table_lookup
+        self.cache_miss += other.cache_miss
+        self.fixed += other.fixed
+        self.packets += other.packets
+
+
+class CostModel:
+    """Converts operation counts into cycles and throughput."""
+
+    def __init__(self, costs: CycleCosts = DEFAULT_COSTS) -> None:
+        self.costs = costs
+
+    def miss_rate(self, working_set_bytes: int) -> float:
+        """Probability a random access to the working set misses the LLC."""
+        if working_set_bytes <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.costs.llc_bytes / working_set_bytes)
+
+    def breakdown(self, ops: OpCounter, working_set_bytes: int = 0) -> CycleBreakdown:
+        """Attribute an operation tally to cycle categories.
+
+        ``working_set_bytes`` is the randomly-accessed memory footprint
+        (sketch counters, hash-table entries); counter updates and table
+        lookups to it pay the DRAM penalty at the modelled miss rate.
+        """
+        costs = self.costs
+        miss = self.miss_rate(working_set_bytes)
+        random_accesses = ops.counter_updates + ops.table_lookups
+        return CycleBreakdown(
+            hash=ops.hashes * costs.hash,
+            counter_update=ops.counter_updates * costs.counter_update,
+            heap_op=ops.heap_ops * costs.heap_op,
+            prng=ops.prng_draws * costs.prng,
+            memcpy=ops.memcpys * costs.memcpy,
+            table_lookup=ops.table_lookups * costs.table_lookup,
+            cache_miss=random_accesses * miss * costs.dram_penalty,
+            fixed=ops.fixed_cycles,
+            packets=ops.packets,
+        )
+
+    def cycles_per_packet(self, ops: OpCounter, working_set_bytes: int = 0) -> float:
+        """Average cycles spent per offered packet."""
+        return self.breakdown(ops, working_set_bytes).per_packet()
+
+    def capacity_mpps(self, ops: OpCounter, working_set_bytes: int = 0) -> float:
+        """Packet rate one core sustains for this operation mix."""
+        per_packet = self.cycles_per_packet(ops, working_set_bytes)
+        if per_packet <= 0:
+            return float("inf")
+        return cycles_per_packet_to_mpps(per_packet, self.costs.clock_ghz)
+
+    def capacity_gbps(
+        self, ops: OpCounter, mean_packet_size: float, working_set_bytes: int = 0
+    ) -> float:
+        """Wire throughput one core sustains for this operation mix."""
+        return mpps_to_gbps(self.capacity_mpps(ops, working_set_bytes), mean_packet_size)
+
+    def cpu_share_at_rate(
+        self, ops: OpCounter, rate_mpps: float, working_set_bytes: int = 0
+    ) -> float:
+        """Fraction of one core consumed when processing ``rate_mpps``.
+
+        > 1.0 means the core cannot keep up (packets would drop); the
+        Figure-10 CPU-usage bars report ``min(share, 1.0) * 100``.
+        """
+        per_packet = self.cycles_per_packet(ops, working_set_bytes)
+        return rate_mpps * 1e6 * per_packet / (self.costs.clock_ghz * 1e9)

@@ -1,0 +1,138 @@
+"""Multi-core scaling via RSS sharding.
+
+The paper's headline is a *single-thread* 40 GbE result, but its
+separate-thread deployment already spans cores ("a single-thread
+NitroSketch and another two threads for the switches", Figure 8
+caption).  This model answers the natural follow-up -- how does the
+monitored switch scale with PMD cores?  The NIC's RSS hash shards flows
+across ``cores`` receive queues; each core runs its own pipeline +
+measurement daemon over its shard, and mergeable sketches recombine at
+the control plane (see :meth:`repro.core.NitroSketch.merge`).
+
+Scaling is near-linear until the NIC's delivery ceiling binds -- the
+same story real OVS-DPDK deployments show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.hashing.families import MultiplyShiftHash
+from repro.switchsim.costmodel import CostModel
+from repro.switchsim.daemon import MeasurementDaemon
+from repro.switchsim.nic import NICModel, XL710_40G
+from repro.switchsim.pipeline import SwitchPipeline
+from repro.switchsim.simulator import SimulationResult, SwitchSimulator
+from repro.traffic.traces import Trace
+
+
+@dataclass
+class MultiCoreResult:
+    """Aggregate of one multi-core run."""
+
+    cores: int
+    offered_mpps: float
+    capacity_mpps: float
+    achieved_mpps: float
+    achieved_gbps: float
+    per_core: List[SimulationResult]
+
+    def scaling_efficiency(self, single_core_capacity: float) -> float:
+        """capacity(N) / (N * capacity(1)) -- 1.0 is perfect scaling."""
+        if single_core_capacity <= 0 or self.cores == 0:
+            return 0.0
+        return self.capacity_mpps / (self.cores * single_core_capacity)
+
+
+class MultiCoreSimulator:
+    """Shards a trace across N cores with an RSS-style flow hash.
+
+    Parameters
+    ----------
+    pipeline_factory / daemon_factory:
+        Called once per core (daemon_factory may be None for bare
+        switching).  Monitors should use per-core seeds *or* identical
+        seeds + control-plane merging; both are valid deployments.
+    """
+
+    def __init__(
+        self,
+        pipeline_factory: Callable[[int], SwitchPipeline],
+        daemon_factory: Optional[Callable[[int], MeasurementDaemon]] = None,
+        cores: int = 2,
+        cost_model: Optional[CostModel] = None,
+        nic: NICModel = XL710_40G,
+        rss_seed: int = 0,
+    ) -> None:
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self.cores = cores
+        self.pipeline_factory = pipeline_factory
+        self.daemon_factory = daemon_factory
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.nic = nic
+        self._rss = MultiplyShiftHash(cores, rss_seed ^ 0x2552)
+
+    def shard(self, trace: Trace) -> List[Trace]:
+        """Split a trace into per-core shards by RSS flow hash.
+
+        All packets of a flow land on one core (RSS hashes the 5-tuple),
+        so per-core sketches stay per-flow-consistent.
+        """
+        assignments = self._rss.batch(trace.keys)
+        shards = []
+        for core in range(self.cores):
+            mask = assignments == core
+            shards.append(
+                Trace(
+                    name="%s.core%d" % (trace.name, core),
+                    keys=trace.keys[mask],
+                    sizes=trace.sizes[mask],
+                    timestamps=trace.timestamps[mask],
+                    src_addresses=(
+                        trace.src_addresses[mask]
+                        if trace.src_addresses is not None
+                        else None
+                    ),
+                )
+            )
+        return shards
+
+    def run(
+        self, trace: Trace, batch_size: int = 32, offered_gbps: Optional[float] = 40.0
+    ) -> MultiCoreResult:
+        """Simulate all cores; aggregate capacity is their sum, capped by
+        the NIC's delivery ceiling."""
+        shards = self.shard(trace)
+        per_core: List[SimulationResult] = []
+        for core, shard in enumerate(shards):
+            daemon = self.daemon_factory(core) if self.daemon_factory else None
+            simulator = SwitchSimulator(
+                self.pipeline_factory(core),
+                daemon,
+                cost_model=self.cost_model,
+                nic=self.nic,
+            )
+            if len(shard) == 0:
+                continue
+            per_core.append(
+                simulator.run(shard, batch_size=batch_size, offered_gbps=None)
+            )
+        # Offered rate of the undivided stream at the requested wire rate.
+        from repro.traffic.replay import Replayer
+
+        offered = Replayer(trace, offered_gbps=offered_gbps).offered_rate_mpps
+        capacity = sum(result.capacity_mpps for result in per_core)
+        deliverable = self.nic.deliverable_mpps(trace.mean_packet_size)
+        achieved = min(offered, capacity, deliverable)
+        from repro.metrics.throughput import mpps_to_gbps
+
+        return MultiCoreResult(
+            cores=self.cores,
+            offered_mpps=offered,
+            capacity_mpps=capacity,
+            achieved_mpps=achieved,
+            achieved_gbps=mpps_to_gbps(achieved, trace.mean_packet_size),
+            per_core=per_core,
+        )

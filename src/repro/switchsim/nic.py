@@ -1,0 +1,43 @@
+"""NIC hardware limits.
+
+The testbed's Intel XL710 40 GbE controller cannot sustain 40 G line
+rate with 64 B packets in hardware (paper Section 7.1: "even vanilla
+DPDK does not reach the line rate with 64B packets due to the hardware
+limitation in Intel XL710", citing the controller datasheet [29]).  The
+NIC model caps the achievable packet rate at the lower of the wire rate
+for the trace's packet size and the controller's small-packet ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.throughput import gbps_to_mpps
+
+
+@dataclass(frozen=True)
+class NICModel:
+    """A NIC port's delivery limits."""
+
+    name: str
+    line_rate_gbps: float
+    #: Hardware packet-per-second ceiling (small-packet limitation).
+    max_mpps: float
+
+    def deliverable_mpps(self, mean_packet_size: float) -> float:
+        """Max packet rate the port can deliver for a given packet size."""
+        wire_limit = gbps_to_mpps(self.line_rate_gbps, mean_packet_size)
+        return min(wire_limit, self.max_mpps)
+
+
+#: Intel XL710, the paper's 40 GbE NIC: ~42 Mpps small-packet ceiling.
+XL710_40G = NICModel(name="XL710-40G", line_rate_gbps=40.0, max_mpps=42.0)
+
+#: Broadcom BCM5720, the testbed's 1 GbE control NIC.
+BCM5720_1G = NICModel(name="BCM5720-1G", line_rate_gbps=1.0, max_mpps=1.5)
+
+#: A generic 10 GbE port (line rate achievable at all sizes).
+GENERIC_10G = NICModel(name="generic-10G", line_rate_gbps=10.0, max_mpps=14.88)
+
+#: No NIC bottleneck (in-memory benchmarks).
+UNLIMITED = NICModel(name="unlimited", line_rate_gbps=float("inf"), max_mpps=float("inf"))

@@ -1,0 +1,88 @@
+"""Packet and flow-key representations.
+
+The paper keys flows by the 5-tuple (src IP, dst IP, src port, dst port,
+protocol) and hashes it with xxHash (Section 6/7).  :class:`FiveTuple`
+carries the structured form; :meth:`FiveTuple.flow_key` folds it to the
+64-bit integer key the sketches consume, via xxhash32 over the packed
+13-byte header exactly like the C implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.hashing.xxhash import xxhash32
+
+
+class FiveTuple(NamedTuple):
+    """An IPv4 5-tuple flow identifier."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def pack(self) -> bytes:
+        """The canonical 13-byte wire representation."""
+        return struct.pack(
+            "<IIHHB",
+            self.src_ip & 0xFFFFFFFF,
+            self.dst_ip & 0xFFFFFFFF,
+            self.src_port & 0xFFFF,
+            self.dst_port & 0xFFFF,
+            self.protocol & 0xFF,
+        )
+
+    def flow_key(self, seed: int = 0) -> int:
+        """Fold to a 64-bit sketch key: two xxhash32 passes, concatenated.
+
+        Two independent seeds give 64 bits of key material so distinct
+        5-tuples collide with probability ~2**-64 rather than ~2**-32.
+        """
+        packed = self.pack()
+        low = xxhash32(packed, seed)
+        high = xxhash32(packed, seed ^ 0x9E3779B9)
+        return (high << 32) | low
+
+    @classmethod
+    def from_strings(
+        cls, src: str, dst: str, src_port: int, dst_port: int, protocol: int = 6
+    ) -> "FiveTuple":
+        """Build from dotted-quad strings (convenience for examples)."""
+        return cls(ip_to_int(src), ip_to_int(dst), src_port, dst_port, protocol)
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse a dotted-quad IPv4 string to a 32-bit integer."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError("expected dotted quad, got %r" % (dotted,))
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("octet out of range in %r" % (dotted,))
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad string."""
+    return "%d.%d.%d.%d" % (
+        (value >> 24) & 0xFF,
+        (value >> 16) & 0xFF,
+        (value >> 8) & 0xFF,
+        value & 0xFF,
+    )
+
+
+@dataclass
+class Packet:
+    """A single packet as the data plane sees it."""
+
+    key: int
+    size: int = 64
+    timestamp: float = 0.0

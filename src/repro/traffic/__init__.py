@@ -1,0 +1,62 @@
+"""Workload generation -- the traces of the paper's Section 7.
+
+The paper evaluates on CAIDA backbone traces, UNI1/UNI2 datacenter
+traces, MACCDC attack traces, and MoonGen-generated min-sized stress
+traffic.  None of those datasets ship with this repository (the CAIDA
+and MACCDC archives are gated), so :mod:`repro.traffic.traces`
+synthesises statistical equivalents: heavy-tailed Zipf-like flow-size
+distributions with each trace family's published mean packet size and
+skew character (see DESIGN.md, Substitutions).
+
+* :mod:`repro.traffic.flows` -- flow-size distribution machinery.
+* :mod:`repro.traffic.traces` -- the :class:`Trace` container and the
+  named generators (``caida_like``, ``datacenter_like``, ``ddos_like``,
+  ``min_sized_stress``, ``malware_like``).
+* :mod:`repro.traffic.replay` -- MoonGen-style replay at a target rate.
+* :mod:`repro.traffic.pcaplite` -- compact on-disk trace format.
+"""
+
+from repro.traffic.flows import (
+    zipf_keys,
+    uniform_keys,
+    flow_size_distribution,
+    true_counts,
+    remap_flows,
+    scramble_keys,
+)
+from repro.traffic.traces import (
+    Trace,
+    caida_like,
+    datacenter_like,
+    ddos_like,
+    malware_like,
+    min_sized_stress,
+    TRACE_FAMILIES,
+)
+from repro.traffic.replay import Replayer, Batch
+from repro.traffic.pcaplite import save_trace, load_trace
+from repro.traffic.pcap import read_pcap, write_pcap, parse_five_tuple, PcapFormatError
+
+__all__ = [
+    "zipf_keys",
+    "uniform_keys",
+    "flow_size_distribution",
+    "true_counts",
+    "remap_flows",
+    "scramble_keys",
+    "Trace",
+    "caida_like",
+    "datacenter_like",
+    "ddos_like",
+    "malware_like",
+    "min_sized_stress",
+    "TRACE_FAMILIES",
+    "Replayer",
+    "Batch",
+    "save_trace",
+    "load_trace",
+    "read_pcap",
+    "write_pcap",
+    "parse_five_tuple",
+    "PcapFormatError",
+]

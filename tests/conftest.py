@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Pins a hypothesis profile suited to this suite: statistical assertions
+on sketches are deliberately generous, but they still benefit from a
+fixed derandomised search so CI runs are reproducible.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,160 @@
+"""Tests for Bloom filters and the multi-core RSS-sharding simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import nitro_countsketch
+from repro.sketches import BloomFilter, CountingBloomFilter, optimal_parameters
+from repro.switchsim import (
+    IntegrationMode,
+    MeasurementDaemon,
+    MultiCoreSimulator,
+    OVSDPDKPipeline,
+    SwitchSimulator,
+    UNLIMITED,
+)
+from repro.traffic import caida_like, min_sized_stress
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(1000, 0.01, seed=1)
+        for key in range(500):
+            bloom.add(key)
+        assert all(key in bloom for key in range(500))
+
+    @given(st.lists(st.integers(0, 2**40), min_size=1, max_size=200, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives_property(self, keys):
+        bloom = BloomFilter.for_capacity(max(len(keys), 10), 0.01, seed=2)
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        target = 0.02
+        bloom = BloomFilter.for_capacity(2000, target, seed=3)
+        for key in range(2000):
+            bloom.add(key)
+        probes = range(10**6, 10**6 + 20000)
+        false_positives = sum(1 for key in probes if key in bloom)
+        assert false_positives / 20000 < 4 * target
+
+    def test_expected_fp_rate_tracks_fill(self):
+        bloom = BloomFilter(1024, hashes=4, seed=4)
+        empty_rate = bloom.expected_false_positive_rate()
+        for key in range(200):
+            bloom.add(key)
+        assert bloom.expected_false_positive_rate() > empty_rate
+
+    def test_optimal_parameters_shape(self):
+        bits, hashes = optimal_parameters(1000, 0.01)
+        assert bits == pytest.approx(9586, rel=0.01)  # ~9.6 bits/item at 1%
+        assert hashes == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, hashes=0)
+        with pytest.raises(ValueError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_parameters(100, 1.5)
+
+    def test_reset(self):
+        bloom = BloomFilter(256, seed=5)
+        bloom.add(1)
+        bloom.reset()
+        assert 1 not in bloom
+        assert bloom.items_added == 0
+
+    def test_memory(self):
+        assert BloomFilter(8000).memory_bytes() == 1000
+
+
+class TestCountingBloomFilter:
+    def test_add_then_remove(self):
+        cbf = CountingBloomFilter(1024, hashes=4, seed=6)
+        cbf.add(42)
+        assert 42 in cbf
+        cbf.remove(42)
+        assert 42 not in cbf
+
+    def test_multiset_semantics(self):
+        cbf = CountingBloomFilter(1024, hashes=4, seed=7)
+        cbf.add(9)
+        cbf.add(9)
+        cbf.remove(9)
+        assert 9 in cbf  # one insertion remains
+        cbf.remove(9)
+        assert 9 not in cbf
+
+    def test_counter_saturation(self):
+        cbf = CountingBloomFilter(64, hashes=2, seed=8, counter_bits=2)
+        for _ in range(10):
+            cbf.add(5)  # counters cap at 3, no overflow wrap
+        assert 5 in cbf
+
+    @given(st.lists(st.integers(0, 2**30), min_size=1, max_size=100, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_property(self, keys):
+        cbf = CountingBloomFilter(4096, hashes=4, seed=9)
+        for key in keys:
+            cbf.add(key)
+        assert all(key in cbf for key in keys)
+
+    def test_memory(self):
+        assert CountingBloomFilter(1000, counter_bits=4).memory_bytes() == 500
+
+
+class TestMultiCore:
+    def test_shards_partition_trace(self):
+        trace = caida_like(20000, n_flows=3000, seed=1)
+        simulator = MultiCoreSimulator(lambda core: OVSDPDKPipeline(), cores=4)
+        shards = simulator.shard(trace)
+        assert sum(len(shard) for shard in shards) == len(trace)
+
+    def test_flows_stay_core_local(self):
+        trace = caida_like(20000, n_flows=500, seed=2)
+        simulator = MultiCoreSimulator(lambda core: OVSDPDKPipeline(), cores=4)
+        shards = simulator.shard(trace)
+        seen = {}
+        for core, shard in enumerate(shards):
+            for key in set(shard.keys.tolist()):
+                assert seen.setdefault(key, core) == core
+
+    def test_capacity_scales_with_cores(self):
+        trace = min_sized_stress(30000, seed=3)
+        single = MultiCoreSimulator(
+            lambda core: OVSDPDKPipeline(), cores=1, nic=UNLIMITED
+        ).run(trace)
+        quad = MultiCoreSimulator(
+            lambda core: OVSDPDKPipeline(), cores=4, nic=UNLIMITED
+        ).run(trace)
+        efficiency = quad.scaling_efficiency(single.capacity_mpps)
+        assert 0.85 < efficiency <= 1.1
+
+    def test_nic_ceiling_binds(self):
+        trace = min_sized_stress(30000, seed=4)
+        result = MultiCoreSimulator(lambda core: OVSDPDKPipeline(), cores=8).run(trace)
+        assert result.achieved_mpps <= 42.0 + 1e-6  # XL710 small-packet cap
+
+    def test_with_measurement_daemons(self):
+        trace = caida_like(20000, n_flows=3000, seed=5)
+        simulator = MultiCoreSimulator(
+            lambda core: OVSDPDKPipeline(),
+            daemon_factory=lambda core: MeasurementDaemon(
+                nitro_countsketch(probability=0.05, seed=5),
+                IntegrationMode.ALL_IN_ONE,
+            ),
+            cores=2,
+        )
+        result = simulator.run(trace)
+        assert len(result.per_core) == 2
+        assert all(r.sketch_cycles_per_packet > 0 for r in result.per_core)
+
+    def test_core_validation(self):
+        with pytest.raises(ValueError):
+            MultiCoreSimulator(lambda core: OVSDPDKPipeline(), cores=0)

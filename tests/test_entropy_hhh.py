@@ -1,0 +1,119 @@
+"""Tests for the Lall entropy sketch and conditioned HHH extraction."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines import HierarchicalHeavyHitters, RandomizedHHH
+from repro.metrics import empirical_entropy
+from repro.sketches import EntropySketch, UnivMon
+from repro.traffic import zipf_keys
+
+
+class TestEntropySketch:
+    def test_accuracy_on_zipf(self):
+        keys = zipf_keys(25000, 2500, 1.1, seed=1)
+        sketch = EntropySketch(estimators=400, group_size=40, seed=1)
+        sketch.update_batch(keys)
+        truth = empirical_entropy(Counter(keys.tolist()))
+        assert sketch.entropy_estimate() == pytest.approx(truth, rel=0.12)
+
+    def test_single_flow_low_entropy(self):
+        # The degenerate single-flow stream is this estimator's hardest
+        # case (Lall et al. handle it by sieving out the top element);
+        # the estimate must still be far below any multi-flow entropy.
+        sketch = EntropySketch(estimators=400, group_size=40, seed=2)
+        sketch.update_batch(np.full(3000, 7, dtype=np.int64))
+        assert sketch.entropy_estimate() < 0.8
+
+    def test_uniform_flows_high_entropy(self):
+        sketch = EntropySketch(estimators=200, group_size=20, seed=3)
+        sketch.update_batch(np.arange(4096, dtype=np.int64))
+        # 4096 singletons: H = 12 bits exactly.
+        assert sketch.entropy_estimate() == pytest.approx(12.0, rel=0.05)
+
+    def test_empty(self):
+        sketch = EntropySketch(seed=4)
+        assert sketch.entropy_estimate() == 0.0
+
+    def test_rejects_weights(self):
+        sketch = EntropySketch(seed=5)
+        with pytest.raises(ValueError):
+            sketch.update(1, weight=2.0)
+
+    def test_comparable_to_univmon(self):
+        """The specialised sketch and the universal sketch should both be
+        within a modest band of the truth (the generality argument)."""
+        keys = zipf_keys(40000, 3000, 1.1, seed=6)
+        truth = empirical_entropy(Counter(keys.tolist()))
+        specialised = EntropySketch(estimators=400, group_size=40, seed=6)
+        specialised.update_batch(keys)
+        universal = UnivMon(levels=10, depth=5, widths=8192, k=300, seed=6)
+        universal.update_batch(keys)
+        assert specialised.entropy_estimate() == pytest.approx(truth, rel=0.15)
+        assert universal.entropy_estimate() == pytest.approx(truth, rel=0.35)
+
+    def test_reset_and_validation(self):
+        sketch = EntropySketch(estimators=50, group_size=10, seed=7)
+        sketch.update(1)
+        sketch.reset()
+        assert sketch.total == 0
+        with pytest.raises(ValueError):
+            EntropySketch(estimators=0)
+        with pytest.raises(ValueError):
+            EntropySketch(estimators=10, group_size=20)
+
+    def test_memory(self):
+        assert EntropySketch(estimators=100).memory_bytes() == 1600
+
+
+def _mixed_hierarchy_packets(seed=1):
+    """One heavy /32 host + a /16 heavy only in aggregate + background."""
+    rng = np.random.default_rng(seed)
+    packets = [0x0B0B0B0B] * 3000
+    packets += [0x0A010000 | int(v) for v in rng.integers(0, 2**16, size=3000)]
+    packets += [int(v) for v in rng.integers(0, 2**32, size=4000)]
+    rng.shuffle(packets)
+    return packets
+
+
+class TestConditionedHHH:
+    @pytest.mark.parametrize("cls", [HierarchicalHeavyHitters, RandomizedHHH])
+    def test_aggregate_and_host_found_at_their_levels(self, cls):
+        monitor = cls(counters_per_level=512)
+        for address in _mixed_hierarchy_packets():
+            monitor.update(address)
+        found = {(p, l) for p, l, _ in monitor.hierarchical_heavy_hitters(0.1)}
+        assert (0x0A010000, 16) in found  # the scanning subnet, at /16
+        assert (0x0B0B0B0B, 32) in found  # the heavy host, at /32
+
+    def test_no_echo_up_the_hierarchy(self):
+        """Ancestors of reported HHHs must be discounted, not re-reported."""
+        monitor = HierarchicalHeavyHitters(counters_per_level=512)
+        for address in _mixed_hierarchy_packets():
+            monitor.update(address)
+        found = monitor.hierarchical_heavy_hitters(0.1)
+        lengths_for_0a = [l for p, l, _ in found if p >> 24 == 0x0A]
+        assert lengths_for_0a == [16]  # not also /8
+        lengths_for_0b = [l for p, l, _ in found if p >> 24 == 0x0B]
+        assert lengths_for_0b == [32]
+
+    def test_conditioned_counts_close_to_truth(self):
+        monitor = HierarchicalHeavyHitters(counters_per_level=512)
+        for address in _mixed_hierarchy_packets():
+            monitor.update(address)
+        estimates = {
+            (p, l): e for p, l, e in monitor.hierarchical_heavy_hitters(0.1)
+        }
+        assert estimates[(0x0B0B0B0B, 32)] == pytest.approx(3000, rel=0.1)
+        assert estimates[(0x0A010000, 16)] == pytest.approx(3000, rel=0.1)
+
+    def test_randomized_estimates_scaled(self):
+        monitor = RandomizedHHH(counters_per_level=512, seed=3)
+        for address in _mixed_hierarchy_packets(seed=3):
+            monitor.update(address)
+        estimates = {
+            (p, l): e for p, l, e in monitor.hierarchical_heavy_hitters(0.1)
+        }
+        assert estimates[(0x0B0B0B0B, 32)] == pytest.approx(3000, rel=0.2)

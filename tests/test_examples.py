@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in-process with reduced workloads where the
+script exposes module-level knobs; the faster ones run as shipped.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    """Run an example script in a subprocess; return stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "recall" in output
+        assert "largest flow" in output
+
+    def test_change_detection(self):
+        output = run_example("change_detection.py")
+        assert "true heavy changers" in output
+        assert "recall" in output
+
+    def test_ddos_detection(self):
+        output = run_example("ddos_detection.py")
+        assert "ALARM" in output
+        # The alarm must fire only in attack epochs.
+        for line in output.splitlines():
+            if "ALARM" in line:
+                assert "ATTACK" in line
+
+    def test_distributed_monitoring(self):
+        output = run_example("distributed_monitoring.py")
+        assert "merged recall" in output
+        assert "control link busy" in output
+
+    @pytest.mark.slow
+    def test_heavy_hitter_monitoring(self):
+        output = run_example("heavy_hitter_monitoring.py")
+        assert "data plane" in output
+        assert "epoch 0" in output
+
+    @pytest.mark.slow
+    def test_switch_throughput(self):
+        output = run_example("switch_throughput.py")
+        assert "ovs-dpdk" in output
+        assert "bess" in output

@@ -1,0 +1,58 @@
+"""Registry smoke tests: every experiment module is uniformly shaped.
+
+Guards the contract the CLI, the __main__ driver, and the recording
+script rely on: each module exposes ``run(scale=..., seed=...)`` (seed
+optional for pure-theory runs) returning ExperimentResult(s) with
+non-empty rows.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.experiments.__main__ import ALL_EXPERIMENTS
+from repro.experiments.report import ExperimentResult
+
+#: Tiny scales per experiment so the whole registry check stays fast.
+TINY_SCALE = {
+    "table1": 0.002,
+    "fig2": 0.002,
+    "fig3": 0.0002,
+    "table2": 0.002,
+    "fig8": 0.002,
+    "fig9": 0.002,
+    "fig10": 0.002,
+    "fig11": 0.01,
+    "fig12": 0.01,
+    "fig13": 0.005,
+    "fig14": 0.002,
+    "fig15": 0.005,
+    "ablation": 0.01,
+    "adaptive": 0.2,
+    "validation": 0.2,
+}
+
+
+@pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+def test_experiment_contract(name):
+    module = importlib.import_module("repro.experiments.%s" % name)
+    assert hasattr(module, "run"), "%s lacks run()" % name
+    signature = inspect.signature(module.run)
+    assert "scale" in signature.parameters
+
+    kwargs = {"scale": TINY_SCALE[name]}
+    if name == "validation":
+        kwargs["trials"] = 3
+    output = module.run(**kwargs)
+    panels = output if isinstance(output, tuple) else (output,)
+    assert panels, "%s returned nothing" % name
+    for panel in panels:
+        assert isinstance(panel, ExperimentResult)
+        assert panel.rows, "%s produced an empty panel %s" % (name, panel.name)
+        assert panel.name
+        assert panel.description
+        # Render must not raise and must include the column headers.
+        rendered = panel.render()
+        for column in panel.rows[0]:
+            assert column in rendered

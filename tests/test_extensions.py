@@ -1,0 +1,203 @@
+"""Tests for the extension features: serialization + control link,
+Space-Saving, Nitro-accelerated ElasticSketch, and the extra
+experiments (adaptation, Theorem-2 validation)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import NitroElasticSketch
+from repro.control import (
+    ControlLink,
+    deserialize_sketch,
+    export_cost,
+    serialize_sketch,
+)
+from repro.experiments import adaptive, validation
+from repro.sketches import CountMinSketch, CountSketch, KArySketch, SpaceSaving
+from repro.traffic import zipf_keys
+
+KEY_LISTS = st.lists(st.integers(0, 100), min_size=1, max_size=300)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("sketch_cls", [CountMinSketch, CountSketch, KArySketch])
+    def test_roundtrip_preserves_queries(self, sketch_cls):
+        sketch = sketch_cls(4, 256, seed=5)
+        keys = zipf_keys(5000, 300, 1.2, seed=5)
+        sketch.update_batch(keys)
+        clone = deserialize_sketch(serialize_sketch(sketch))
+        assert type(clone) is sketch_cls
+        assert np.array_equal(clone.counters, sketch.counters)
+        for key in range(50):
+            assert clone.query(key) == sketch.query(key)
+
+    def test_kary_total_preserved(self):
+        sketch = KArySketch(3, 64, seed=1)
+        sketch.update_batch(np.arange(100))
+        clone = deserialize_sketch(serialize_sketch(sketch))
+        assert clone.total == sketch.total
+
+    def test_clone_is_mergeable_with_original(self):
+        sketch = CountSketch(3, 64, seed=2)
+        sketch.update(1)
+        clone = deserialize_sketch(serialize_sketch(sketch))
+        sketch.merge(clone)  # same seed/shape: distributed aggregation
+        assert sketch.query(1) == pytest.approx(2.0, abs=1.0)
+
+    def test_unsupported_class_rejected(self):
+        from repro.sketches import OneArrayCountSketch
+
+        with pytest.raises(TypeError):
+            serialize_sketch(OneArrayCountSketch(64, seed=1))
+
+    def test_corrupt_class_name_rejected(self):
+        sketch = CountSketch(2, 16, seed=3)
+        blob = bytearray(serialize_sketch(sketch))
+        bad = blob.replace(b"CountSketch", b"UnknownThing")
+        with pytest.raises(ValueError):
+            deserialize_sketch(bytes(bad))
+
+    def test_payload_size_tracks_counters(self):
+        small = serialize_sketch(CountSketch(2, 16, seed=1))
+        large = serialize_sketch(CountSketch(2, 1024, seed=1))
+        assert len(large) > len(small)
+
+
+class TestControlLink:
+    def test_transfer_time(self):
+        link = ControlLink(rate_gbps=1.0, overhead_bytes=0)
+        # 1 MB over 1 Gbps = 8 ms.
+        assert link.transfer_seconds(10**6) == pytest.approx(0.008)
+
+    def test_epoch_frequency_bound(self):
+        link = ControlLink(rate_gbps=1.0, overhead_bytes=0)
+        assert link.max_epochs_per_second(10**6) == pytest.approx(125.0)
+
+    def test_export_cost_of_monitor(self):
+        sketch = CountSketch(5, 1024, seed=1)
+        payload, seconds = export_cost(sketch)
+        assert payload == sketch.memory_bytes()
+        assert seconds > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControlLink().transfer_seconds(-1)
+
+
+class TestSpaceSaving:
+    @given(KEY_LISTS)
+    @settings(max_examples=60, deadline=None)
+    def test_overestimate_bound(self, keys):
+        """f_x <= est <= f_x + m/k for tracked keys."""
+        k = 8
+        summary = SpaceSaving(k)
+        for key in keys:
+            summary.update(key)
+        truth = Counter(keys)
+        bound = len(keys) / k
+        for key, count in summary.items():
+            true = truth.get(key, 0)
+            assert count >= true - 1e-9
+            assert count <= true + bound + 1e-9
+
+    def test_guaranteed_is_lower_bound(self):
+        summary = SpaceSaving(4)
+        keys = zipf_keys(3000, 200, 1.2, seed=4)
+        for key in keys.tolist():
+            summary.update(key)
+        truth = Counter(keys.tolist())
+        for key, _ in summary.items():
+            assert summary.guaranteed(key) <= truth.get(key, 0) + 1e-9
+
+    def test_dominant_flow_survives(self):
+        summary = SpaceSaving(4)
+        for key in [1] * 500 + list(range(10, 300)):
+            summary.update(key)
+        assert summary.query(1) >= 500
+
+    def test_table_bounded(self):
+        summary = SpaceSaving(5)
+        for key in range(1000):
+            summary.update(key)
+        assert len(summary.items()) == 5
+
+    def test_heavy_hitters_gated(self):
+        summary = SpaceSaving(4)
+        for key in [1] * 100 + list(range(2, 80)):
+            summary.update(key)
+        hitters = dict(summary.heavy_hitters(50))
+        assert set(hitters) == {1}
+
+    def test_reset_and_validation(self):
+        summary = SpaceSaving(3)
+        summary.update(1)
+        summary.reset()
+        assert summary.query(1) == 0.0
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+
+class TestNitroElasticSketch:
+    def test_light_updates_sampled(self):
+        sketch = NitroElasticSketch(
+            heavy_buckets=128, light_counters=2048, probability=0.1, seed=1
+        )
+        for key in range(20000):
+            sketch.update(key % 3000)
+        fraction = sketch.light_updates_applied / max(sketch.light_updates_offered, 1)
+        assert fraction == pytest.approx(0.1, rel=0.2)
+
+    def test_light_estimates_unbiased(self):
+        sketch = NitroElasticSketch(
+            heavy_buckets=4, light_counters=8192, probability=0.2, seed=2
+        )
+        # Key 9's bucket is stolen by heavier flows, pushing it to light.
+        keys = ([1] * 50 + [9]) * 400
+        for key in keys:
+            sketch.update(key)
+        total = sketch.query(1) + sketch.query(9)
+        assert total == pytest.approx(len(keys), rel=0.25)
+
+    def test_heavy_part_stays_exact(self):
+        sketch = NitroElasticSketch(
+            heavy_buckets=1024, light_counters=1024, probability=0.05, seed=3
+        )
+        for _ in range(500):
+            sketch.update(7)
+        assert sketch.query(7) == pytest.approx(500, abs=1)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            NitroElasticSketch(probability=0)
+
+    def test_reset(self):
+        sketch = NitroElasticSketch(
+            heavy_buckets=16, light_counters=64, probability=0.5, seed=4
+        )
+        sketch.update(1)
+        sketch.reset()
+        assert sketch.light_updates_offered == 0
+        assert sketch.query(1) == 0.0
+
+
+class TestExtraExperiments:
+    def test_adaptation_ladder(self):
+        result = adaptive.run(scale=0.5)
+        by_phase = {}
+        for row in result.rows:
+            by_phase.setdefault(row["phase"], []).append(row)
+        assert by_phase["idle"][-1]["probability"] == 1.0
+        assert by_phase["burst"][-1]["probability"] == 1 / 64  # Figure 6
+        assert (
+            by_phase["burst"][-1]["counter_updates_per_packet"]
+            < by_phase["idle"][-1]["counter_updates_per_packet"]
+        )
+        # Recovery after the burst.
+        assert by_phase["cooldown"][-1]["probability"] > 1 / 64
+
+    def test_theorem2_validation_within_bound(self):
+        result = validation.run(scale=0.5, trials=15)
+        assert all(row["within_bound"] for row in result.rows)

@@ -1,0 +1,131 @@
+"""Tests for the geometric sampler (Idea B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometric import GeometricSampler, geometric_positions
+from repro.metrics.opcount import OpCounter
+
+
+class TestGeometricSampler:
+    def test_gaps_are_positive(self):
+        sampler = GeometricSampler(0.2, seed=1)
+        assert all(sampler.next_gap() >= 1 for _ in range(2000))
+
+    def test_mean_gap_is_inverse_probability(self):
+        sampler = GeometricSampler(0.1, seed=2)
+        gaps = [sampler.next_gap() for _ in range(30000)]
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.05)
+
+    def test_p_one_always_one_and_no_prng(self):
+        sampler = GeometricSampler(1.0, seed=3)
+        ops = OpCounter()
+        sampler.ops = ops
+        assert all(sampler.next_gap() == 1 for _ in range(100))
+        assert ops.prng_draws == 0
+
+    def test_prng_billed_per_draw(self):
+        sampler = GeometricSampler(0.5, seed=4)
+        ops = OpCounter()
+        sampler.ops = ops
+        for _ in range(50):
+            sampler.next_gap()
+        assert ops.prng_draws == 50
+
+    def test_probability_change_takes_effect(self):
+        sampler = GeometricSampler(0.5, seed=5)
+        sampler.set_probability(0.01)
+        gaps = [sampler.next_gap() for _ in range(5000)]
+        assert np.mean(gaps) == pytest.approx(100.0, rel=0.15)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            GeometricSampler(0.0)
+        sampler = GeometricSampler(0.5)
+        with pytest.raises(ValueError):
+            sampler.set_probability(1.5)
+
+    def test_expected_gap(self):
+        assert GeometricSampler(0.25).expected_gap() == 4.0
+
+    def test_deterministic(self):
+        a = GeometricSampler(0.3, seed=9)
+        b = GeometricSampler(0.3, seed=9)
+        assert [a.next_gap() for _ in range(100)] == [b.next_gap() for _ in range(100)]
+
+    def test_gaps_batch_distribution(self):
+        sampler = GeometricSampler(0.2, seed=11)
+        gaps = sampler.gaps_batch(20000)
+        assert gaps.min() >= 1
+        assert np.mean(gaps) == pytest.approx(5.0, rel=0.05)
+
+    def test_gaps_batch_p_one(self):
+        sampler = GeometricSampler(1.0, seed=11)
+        assert sampler.gaps_batch(10).tolist() == [1] * 10
+
+
+class TestGeometricPositions:
+    def test_positions_within_range(self):
+        rng = np.random.default_rng(0)
+        positions, leftover = geometric_positions(0.1, 1000, rng)
+        assert positions.min() >= 0
+        assert positions.max() < 1000
+        assert leftover >= 0
+
+    def test_positions_strictly_increasing(self):
+        rng = np.random.default_rng(1)
+        positions, _ = geometric_positions(0.3, 5000, rng)
+        assert np.all(np.diff(positions) >= 1)
+
+    def test_density_matches_probability(self):
+        rng = np.random.default_rng(2)
+        positions, _ = geometric_positions(0.05, 200000, rng)
+        assert len(positions) == pytest.approx(10000, rel=0.1)
+
+    def test_p_one_covers_every_slot(self):
+        rng = np.random.default_rng(3)
+        positions, leftover = geometric_positions(1.0, 10, rng)
+        assert positions.tolist() == list(range(10))
+        assert leftover == 0
+
+    def test_zero_slots(self):
+        rng = np.random.default_rng(4)
+        positions, leftover = geometric_positions(0.5, 0, rng)
+        assert positions.size == 0
+        assert leftover >= 0
+
+    def test_leftover_continuation_preserves_density(self):
+        """Splitting a slot range into chunks (carrying leftover) must give
+        the same overall sampling density as one big range."""
+        rng = np.random.default_rng(5)
+        total = 0
+        pending = 0
+        for _ in range(100):
+            chunk = 1000
+            if pending >= chunk:
+                pending -= chunk
+                continue
+            first = pending
+            tail, leftover = geometric_positions(0.1, chunk - first - 1, rng)
+            total += 1 + len(tail)
+            pending = leftover
+        assert total == pytest.approx(0.1 * 100 * 1000, rel=0.1)
+
+    def test_probability_validation(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            geometric_positions(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            geometric_positions(0.5, -1, rng)
+
+    @given(st.floats(min_value=0.01, max_value=1.0), st.integers(0, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_property(self, probability, slots):
+        rng = np.random.default_rng(7)
+        positions, leftover = geometric_positions(probability, slots, rng)
+        assert leftover >= 0
+        if positions.size:
+            assert positions.min() >= 0
+            assert positions.max() < slots
+            assert np.all(np.diff(positions) >= 1)

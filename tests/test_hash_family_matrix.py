@@ -1,0 +1,109 @@
+"""Core invariants re-checked under the xxhash row-hash family.
+
+The default multiply-shift family gets full coverage elsewhere; this
+matrix re-runs the load-bearing invariants with ``hash_family="xxhash"``
+(the C implementation's family) to guarantee the two configurations are
+interchangeable.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import NitroConfig, NitroSketch
+from repro.hashing.rowhash import XXHashRowHash, XXHashRowSign
+from repro.sketches import CountMinSketch, CountSketch
+from repro.traffic import zipf_keys
+
+FAMILIES = ("multiply_shift", "xxhash")
+
+
+class TestRowHashPrimitives:
+    def test_range_and_determinism(self):
+        h = XXHashRowHash(1000, seed=3)
+        values = [h(k) for k in range(2000)]
+        assert all(0 <= v < 1000 for v in values)
+        assert values == [h(k) for k in range(2000)]
+
+    def test_batch_matches_scalar(self):
+        h = XXHashRowHash(997, seed=5)
+        keys = np.arange(0, 3000, 7)
+        assert h.batch(keys).tolist() == [h(int(k)) for k in keys]
+
+    def test_sign_batch_matches_scalar(self):
+        g = XXHashRowSign(seed=7)
+        keys = np.arange(500)
+        assert g.batch(keys).tolist() == [g(int(k)) for k in keys]
+
+    def test_sign_balance(self):
+        g = XXHashRowSign(seed=9)
+        total = sum(g(k) for k in range(20000))
+        assert abs(total) < 600
+
+    def test_constant_one(self):
+        g = XXHashRowSign(seed=9, constant_one=True)
+        assert all(g(k) == 1 for k in range(100))
+        assert g.batch(np.arange(5)).tolist() == [1] * 5
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            XXHashRowHash(0, 1)
+        with pytest.raises(ValueError):
+            XXHashRowHash(2**33, 1)
+
+    def test_uniformity(self):
+        h = XXHashRowHash(8, seed=11)
+        buckets = np.bincount([h(k) for k in range(40000)], minlength=8)
+        assert buckets.min() > 4000
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestFamilyMatrix:
+    def test_cms_never_underestimates(self, family):
+        keys = zipf_keys(10000, 500, 1.2, seed=13)
+        sketch = CountMinSketch(4, 512, seed=13, hash_family=family)
+        sketch.update_batch(keys)
+        truth = Counter(keys.tolist())
+        for key, count in list(truth.items())[:200]:
+            assert sketch.query(key) >= count
+
+    def test_cs_batch_equals_scalar(self, family):
+        keys = zipf_keys(4000, 300, 1.1, seed=17)
+        a = CountSketch(3, 256, seed=17, hash_family=family)
+        b = CountSketch(3, 256, seed=17, hash_family=family)
+        for key in keys.tolist():
+            a.update(key)
+        b.update_batch(keys)
+        assert np.allclose(a.counters, b.counters)
+
+    def test_nitro_p_one_identical_to_vanilla(self, family):
+        keys = zipf_keys(3000, 200, 1.2, seed=19)
+        vanilla = CountSketch(4, 256, seed=19, hash_family=family)
+        nitro = NitroSketch(
+            CountSketch(4, 256, seed=19, hash_family=family),
+            NitroConfig(probability=1.0, seed=19),
+        )
+        for key in keys.tolist():
+            vanilla.update(key)
+            nitro.update(key)
+        assert np.array_equal(vanilla.counters, nitro.sketch.counters)
+
+    def test_nitro_sampled_estimates(self, family):
+        keys = zipf_keys(80000, 3000, 1.3, seed=23)
+        nitro = NitroSketch(
+            CountSketch(5, 8192, seed=23, hash_family=family),
+            NitroConfig(probability=0.1, seed=23),
+        )
+        nitro.update_batch(keys)
+        truth = Counter(keys.tolist())
+        top = max(truth, key=truth.get)
+        assert nitro.query(int(top)) == pytest.approx(truth[top], rel=0.12)
+
+    def test_families_disagree_on_buckets(self, family):
+        """Sanity: the two families are genuinely different functions."""
+        other = "xxhash" if family == "multiply_shift" else "multiply_shift"
+        a = CountSketch(1, 1024, seed=29, hash_family=family)
+        b = CountSketch(1, 1024, seed=29, hash_family=other)
+        same = sum(1 for k in range(500) if a.row_hashes[0](k) == b.row_hashes[0](k))
+        assert same < 50

@@ -1,0 +1,203 @@
+"""Tests for repro.metrics (opcount, accuracy, throughput)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.accuracy import (
+    change_truth,
+    empirical_entropy,
+    exact_counts,
+    f1_score,
+    heavy_hitter_truth,
+    l2_norm,
+    mean_relative_error,
+    median,
+    precision,
+    recall,
+    relative_error,
+    top_k_truth,
+)
+from repro.metrics.opcount import NULL_OPS, NullOps, OpCounter
+from repro.metrics.throughput import (
+    LINE_RATE_10G_64B_MPPS,
+    LINE_RATE_40G_64B_MPPS,
+    cycles_per_packet_to_mpps,
+    gbps_to_mpps,
+    mpps_to_cycles_per_packet,
+    mpps_to_gbps,
+)
+
+
+class TestOpCounter:
+    def test_counting(self):
+        ops = OpCounter()
+        ops.hash(3)
+        ops.counter_update()
+        ops.heap_op(2)
+        ops.prng()
+        ops.memcpy()
+        ops.table_lookup(4)
+        ops.packet(10)
+        ops.fixed(50.0)
+        assert ops.hashes == 3
+        assert ops.counter_updates == 1
+        assert ops.heap_ops == 2
+        assert ops.prng_draws == 1
+        assert ops.memcpys == 1
+        assert ops.table_lookups == 4
+        assert ops.packets == 10
+        assert ops.fixed_cycles == 50.0
+
+    def test_per_packet(self):
+        ops = OpCounter()
+        ops.hash(20)
+        ops.packet(10)
+        assert ops.per_packet()["hashes"] == 2.0
+
+    def test_per_packet_zero_packets(self):
+        ops = OpCounter()
+        ops.hash(5)
+        assert ops.per_packet()["hashes"] == 5.0  # denominator clamps to 1
+
+    def test_reset(self):
+        ops = OpCounter()
+        ops.hash(5)
+        ops.fixed(10)
+        ops.reset()
+        assert ops.hashes == 0
+        assert ops.fixed_cycles == 0.0
+
+    def test_merge(self):
+        a = OpCounter()
+        b = OpCounter()
+        a.hash(2)
+        b.hash(3)
+        b.packet(7)
+        a.merge(b)
+        assert a.hashes == 5
+        assert a.packets == 7
+
+    def test_as_dict_keys(self):
+        keys = set(OpCounter().as_dict())
+        assert "hashes" in keys and "packets" in keys and "fixed_cycles" in keys
+
+    def test_null_ops_is_inert(self):
+        NULL_OPS.hash(5)
+        NULL_OPS.packet()
+        NULL_OPS.fixed(10)
+        NULL_OPS.reset()  # no state to verify -- just must not raise
+
+    def test_null_ops_stateless(self):
+        assert not hasattr(NullOps(), "__dict__")
+
+
+class TestAccuracyMetrics:
+    def test_relative_error_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_relative_error_zero_truth(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == math.inf
+
+    def test_mean_relative_error(self):
+        estimates = {1: 110.0, 2: 90.0}
+        truths = {1: 100, 2: 100}
+        assert mean_relative_error(estimates, truths) == pytest.approx(0.1)
+
+    def test_mean_relative_error_empty(self):
+        assert mean_relative_error({}, {1: 5}) == 0.0
+
+    def test_recall_precision_f1(self):
+        found = {1, 2, 3}
+        truth = {2, 3, 4, 5}
+        assert recall(found, truth) == pytest.approx(0.5)
+        assert precision(found, truth) == pytest.approx(2 / 3)
+        expected_f1 = 2 * 0.5 * (2 / 3) / (0.5 + 2 / 3)
+        assert f1_score(found, truth) == pytest.approx(expected_f1)
+
+    def test_recall_empty_truth(self):
+        assert recall(set(), set()) == 1.0
+
+    def test_precision_empty_found(self):
+        assert precision(set(), {1}) == 1.0
+
+    def test_f1_zero(self):
+        assert f1_score({1}, {2}) == 0.0
+
+    def test_exact_counts(self):
+        assert exact_counts([1, 1, 2]) == {1: 2, 2: 1}
+
+    def test_heavy_hitter_truth(self):
+        counts = {1: 60, 2: 30, 3: 10}
+        assert heavy_hitter_truth(counts, 0.25) == {1, 2}
+
+    def test_top_k_truth_ties(self):
+        counts = {5: 10, 3: 10, 7: 1}
+        assert top_k_truth(counts, 2) == {3, 5}
+
+    def test_empirical_entropy_uniform(self):
+        counts = {i: 1 for i in range(8)}
+        assert empirical_entropy(counts) == pytest.approx(3.0)
+
+    def test_empirical_entropy_single_flow(self):
+        assert empirical_entropy({1: 100}) == 0.0
+
+    def test_empirical_entropy_empty(self):
+        assert empirical_entropy({}) == 0.0
+
+    def test_change_truth(self):
+        before = {1: 100, 2: 100}
+        after = {1: 200, 2: 100, 3: 50}
+        # Deltas: flow1 = 100, flow3 = 50; total change 150.
+        assert change_truth(before, after, 0.5) == {1}
+        assert change_truth(before, after, 0.2) == {1, 3}
+
+    def test_change_truth_no_change(self):
+        assert change_truth({1: 5}, {1: 5}, 0.1) == set()
+
+    def test_l2_norm(self):
+        assert l2_norm({1: 3, 2: 4}) == pytest.approx(5.0)
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_lower_middle(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.0
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1))
+    def test_entropy_nonnegative_and_bounded(self, values):
+        counts = exact_counts(values)
+        h = empirical_entropy(counts)
+        assert 0.0 <= h <= math.log2(max(len(counts), 1)) + 1e-9
+
+
+class TestThroughputUnits:
+    def test_64b_line_rates(self):
+        assert gbps_to_mpps(10, 64) == pytest.approx(LINE_RATE_10G_64B_MPPS, rel=1e-3)
+        assert gbps_to_mpps(40, 64) == pytest.approx(LINE_RATE_40G_64B_MPPS, rel=1e-3)
+
+    def test_roundtrip(self):
+        assert mpps_to_gbps(gbps_to_mpps(40, 714), 714) == pytest.approx(40.0)
+
+    def test_cycles_roundtrip(self):
+        cycles = mpps_to_cycles_per_packet(10.0, 2.1)
+        assert cycles_per_packet_to_mpps(cycles, 2.1) == pytest.approx(10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gbps_to_mpps(10, 0)
+        with pytest.raises(ValueError):
+            mpps_to_gbps(10, -1)
+        with pytest.raises(ValueError):
+            cycles_per_packet_to_mpps(0, 2.1)
+        with pytest.raises(ValueError):
+            mpps_to_cycles_per_packet(0, 2.1)
+
+    def test_more_cycles_means_fewer_mpps(self):
+        assert cycles_per_packet_to_mpps(100, 2.1) > cycles_per_packet_to_mpps(200, 2.1)

@@ -1,0 +1,146 @@
+"""Tests for the structural switch-pipeline models: the OVS tuple-space
+classifier, VPP graph nodes, and BESS modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import nitro_countsketch
+from repro.metrics.opcount import OpCounter
+from repro.switchsim import (
+    BESSPipeline,
+    EthernetInputNode,
+    IP4LookupNode,
+    L2ForwardModule,
+    MeasurementNode,
+    OVSDPDKPipeline,
+    SketchModule,
+    TupleSpaceClassifier,
+    VPPPipeline,
+)
+from repro.traffic import min_sized_stress
+from repro.traffic.replay import Batch, Replayer
+
+
+def make_batch(keys):
+    keys = np.asarray(keys, dtype=np.int64)
+    return Batch(
+        keys=keys,
+        sizes=np.full(len(keys), 64, dtype=np.int32),
+        timestamps=np.linspace(0, 1e-6, len(keys)),
+    )
+
+
+class TestTupleSpaceClassifier:
+    def test_masked_match(self):
+        classifier = TupleSpaceClassifier(masks=(0xFF00,))
+        classifier.install(0x1234, 0xFF00, action=7)
+        ops = OpCounter()
+        # Any key sharing the masked bits matches.
+        assert classifier.lookup(0x12FF, ops) == 7
+        assert classifier.lookup(0x3456, ops) is None
+
+    def test_subtable_walk_billing(self):
+        classifier = TupleSpaceClassifier(masks=(0xFF, 0xFFFF, 0xFFFFFF))
+        ops = OpCounter()
+        classifier.lookup(1, ops)  # miss walks all three subtables
+        assert ops.hashes == 3
+        assert ops.table_lookups == 3
+
+    def test_early_exit_on_first_match(self):
+        classifier = TupleSpaceClassifier(masks=(0xFF, 0xFFFF))
+        classifier.install(0x12, 0xFF, action=1)
+        ops = OpCounter()
+        classifier.lookup(0x12, ops)
+        assert ops.hashes == 1  # matched in the first subtable
+
+    def test_entry_count_and_reset(self):
+        classifier = TupleSpaceClassifier()
+        classifier.install(1, 0xFFFF, 1)
+        classifier.install(2, 0xFFFFFFFFFFFFFFFF, 1)
+        assert classifier.entry_count() == 2
+        classifier.reset()
+        assert classifier.entry_count() == 0
+
+    def test_requires_masks(self):
+        with pytest.raises(ValueError):
+            TupleSpaceClassifier(masks=())
+
+
+class TestOVSThreeTier:
+    def test_upcall_installs_megaflow(self):
+        pipeline = OVSDPDKPipeline(emc_entries=4, emc_key_space=None)
+        ops = OpCounter()
+        pipeline.forward_batch(make_batch([101, 102, 103]), ops)
+        assert pipeline.upcalls >= 1
+        assert pipeline.classifier.entry_count() >= 1
+
+    def test_second_pass_hits_caches(self):
+        pipeline = OVSDPDKPipeline(emc_entries=64, emc_key_space=None)
+        batch = make_batch(list(range(32)))
+        pipeline.forward_batch(batch, OpCounter())
+        upcalls_before = pipeline.upcalls
+        pipeline.forward_batch(batch, OpCounter())
+        assert pipeline.upcalls == upcalls_before  # all EMC hits now
+        assert pipeline.emc_hits >= 32
+
+
+class TestVPPGraph:
+    def test_default_graph_order(self):
+        names = [node.name for node in VPPPipeline().nodes]
+        assert names == ["ethernet-input", "ip4-input", "ip4-lookup", "ip4-rewrite"]
+
+    def test_fib_lookups_billed(self):
+        pipeline = VPPPipeline()
+        ops = OpCounter()
+        pipeline.forward_batch(make_batch(range(10)), ops)
+        assert ops.table_lookups == 10  # one FIB probe per packet
+
+    def test_add_node_after(self):
+        pipeline = VPPPipeline()
+        monitor = nitro_countsketch(probability=0.1, seed=1)
+        pipeline.add_node(
+            MeasurementNode(lambda batch: monitor.update_batch(batch.keys)),
+            after="ip4-lookup",
+        )
+        assert [n.name for n in pipeline.nodes][3] == "nitrosketch"
+        pipeline.forward_batch(make_batch(range(50)), OpCounter())
+        assert monitor.packets_seen == 50
+
+    def test_add_node_unknown_anchor(self):
+        with pytest.raises(ValueError):
+            VPPPipeline().add_node(EthernetInputNode(), after="nope")
+
+    def test_dispatch_amortised_over_vector(self):
+        """Bigger vectors -> fewer cycles per packet (VPP's design point)."""
+        from repro.switchsim import CostModel
+
+        model = CostModel()
+        trace = min_sized_stress(4096, seed=1)
+        costs = {}
+        for batch_size in (4, 256):
+            pipeline = VPPPipeline()
+            ops = OpCounter()
+            for batch in Replayer(trace, batch_size=batch_size):
+                pipeline.forward_batch(batch, ops)
+            costs[batch_size] = model.cycles_per_packet(ops)
+        assert costs[256] < costs[4]
+
+
+class TestBESSModules:
+    def test_default_chain(self):
+        names = [m.name for m in BESSPipeline().modules]
+        assert names == ["port_inc", "l2_forward", "port_out"]
+
+    def test_l2_lookup_billed(self):
+        pipeline = BESSPipeline()
+        ops = OpCounter()
+        pipeline.forward_batch(make_batch(range(8)), ops)
+        assert ops.table_lookups == 8
+
+    def test_sketch_module_insertion(self):
+        pipeline = BESSPipeline()
+        monitor = nitro_countsketch(probability=0.1, seed=2)
+        pipeline.add_module(SketchModule(lambda batch: monitor.update_batch(batch.keys)))
+        assert [m.name for m in pipeline.modules][2] == "nitrosketch"
+        pipeline.forward_batch(make_batch(range(20)), OpCounter())
+        assert monitor.packets_seen == 20

@@ -1,0 +1,100 @@
+"""Tests for repro.hashing.prng."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.prng import MASK64, SplitMix64, XorShift64Star
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        a = SplitMix64(42)
+        b = SplitMix64(42)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SplitMix64(1)
+        b = SplitMix64(2)
+        assert a.next_u64() != b.next_u64()
+
+    def test_output_is_64_bit(self):
+        rng = SplitMix64(123)
+        for _ in range(100):
+            assert 0 <= rng.next_u64() <= MASK64
+
+    def test_zero_seed_works(self):
+        rng = SplitMix64(0)
+        values = [rng.next_u64() for _ in range(5)]
+        assert len(set(values)) == 5
+
+    def test_known_vector(self):
+        # Reference output for seed 0 from the SplitMix64 paper's C code.
+        rng = SplitMix64(0)
+        assert rng.next_u64() == 0xE220A8397B1DCDAF
+
+    def test_next_nonzero_skips_zero(self):
+        rng = SplitMix64(99)
+        for _ in range(100):
+            assert rng.next_nonzero_u64() != 0
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_any_seed_valid(self, seed):
+        rng = SplitMix64(seed)
+        assert 0 <= rng.next_u64() <= MASK64
+
+
+class TestXorShift64Star:
+    def test_deterministic(self):
+        a = XorShift64Star(7)
+        b = XorShift64Star(7)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_zero_seed_replaced(self):
+        rng = XorShift64Star(0)
+        assert rng.next_u64() != 0
+
+    def test_float_range(self):
+        rng = XorShift64Star(5)
+        for _ in range(1000):
+            value = rng.next_float()
+            assert 0.0 <= value < 1.0
+
+    def test_float_roughly_uniform(self):
+        rng = XorShift64Star(5)
+        values = [rng.next_float() for _ in range(20000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.02
+
+    def test_next_below_range(self):
+        rng = XorShift64Star(11)
+        for _ in range(1000):
+            assert 0 <= rng.next_below(7) < 7
+
+    def test_next_below_covers_all_values(self):
+        rng = XorShift64Star(13)
+        seen = {rng.next_below(4) for _ in range(500)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_next_below_rejects_nonpositive(self):
+        rng = XorShift64Star(1)
+        with pytest.raises(ValueError):
+            rng.next_below(0)
+
+    def test_state_roundtrip(self):
+        rng = XorShift64Star(99)
+        rng.next_u64()
+        state = rng.getstate()
+        expected = [rng.next_u64() for _ in range(5)]
+        rng.setstate(state)
+        assert [rng.next_u64() for _ in range(5)] == expected
+
+    def test_setstate_rejects_zero(self):
+        rng = XorShift64Star(1)
+        with pytest.raises(ValueError):
+            rng.setstate(0)
+
+    def test_bit_balance(self):
+        rng = XorShift64Star(3)
+        ones = sum(bin(rng.next_u64()).count("1") for _ in range(2000))
+        # ~32 bits set on average out of 64.
+        assert abs(ones / 2000 - 32) < 1.0

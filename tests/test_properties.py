@@ -1,0 +1,155 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These target invariants that must hold across the whole parameter
+space, not just the configurations the unit tests pick:
+
+* sketch linearity / mergeability;
+* NitroSketch unbiasedness under arbitrary (p, shape) choices;
+* serialization round-trips for arbitrary contents;
+* geometric-process statistics;
+* estimator sanity under adversarial key patterns.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.control import deserialize_sketch, serialize_sketch
+from repro.core import NitroConfig, NitroSketch
+from repro.sketches import CountMinSketch, CountSketch, KArySketch, UnivMon
+from repro.traffic import remap_flows, scramble_keys
+
+SMALL_KEYS = st.lists(st.integers(0, 50), min_size=1, max_size=150)
+SHAPES = st.tuples(st.integers(1, 6), st.sampled_from([16, 64, 257, 1024]))
+
+
+class TestLinearity:
+    @given(SMALL_KEYS, SHAPES)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_concatenation(self, keys, shape):
+        """sketch(A) ⊕ sketch(B) must equal sketch(A ++ B) exactly."""
+        depth, width = shape
+        half = len(keys) // 2
+        a = CountSketch(depth, width, seed=9)
+        b = CountSketch(depth, width, seed=9)
+        combined = CountSketch(depth, width, seed=9)
+        for key in keys[:half]:
+            a.update(key)
+        for key in keys[half:]:
+            b.update(key)
+        for key in keys:
+            combined.update(key)
+        a.merge(b)
+        assert np.array_equal(a.counters, combined.counters)
+
+    @given(SMALL_KEYS)
+    @settings(max_examples=40, deadline=None)
+    def test_update_order_irrelevant(self, keys):
+        """Counter state depends only on the multiset of keys."""
+        forward = CountMinSketch(3, 64, seed=5)
+        backward = CountMinSketch(3, 64, seed=5)
+        for key in keys:
+            forward.update(key)
+        for key in reversed(keys):
+            backward.update(key)
+        assert np.array_equal(forward.counters, backward.counters)
+
+    @given(SMALL_KEYS, st.floats(min_value=0.5, max_value=8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_weight_scaling(self, keys, factor):
+        """Scaling every update weight scales every counter."""
+        base = KArySketch(3, 64, seed=7)
+        scaled = KArySketch(3, 64, seed=7)
+        for key in keys:
+            base.update(key, 1.0)
+            scaled.update(key, factor)
+        assert np.allclose(scaled.counters, base.counters * factor)
+        assert scaled.total == pytest.approx(base.total * factor)
+
+
+class TestSerializationProperty:
+    @given(SHAPES, SMALL_KEYS, st.sampled_from(["multiply_shift", "xxhash"]))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_identity(self, shape, keys, family):
+        depth, width = shape
+        sketch = CountSketch(depth, width, seed=3, hash_family=family)
+        for key in keys:
+            sketch.update(key)
+        clone = deserialize_sketch(serialize_sketch(sketch))
+        assert np.array_equal(clone.counters, sketch.counters)
+        assert clone.hash_family == family
+        for key in set(keys):
+            assert clone.query(key) == sketch.query(key)
+
+
+class TestNitroUnbiasedness:
+    @given(
+        st.sampled_from([0.05, 0.1, 0.25, 0.5]),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_mean_estimate_tracks_truth(self, probability, depth):
+        """Averaged over independent seeds, the Nitro estimate of a big
+        flow tracks its true count (unbiasedness of p^-1 scaling)."""
+        true_count = 4000
+        keys = np.concatenate(
+            [np.full(true_count, 42), np.arange(1000, 3000)]
+        ).astype(np.int64)
+        estimates = []
+        for trial in range(12):
+            nitro = NitroSketch(
+                CountSketch(depth, 4096, seed=100 + trial),
+                NitroConfig(probability=probability, top_k=0, seed=100 + trial),
+            )
+            nitro.update_batch(keys)
+            estimates.append(nitro.query(42))
+        assert np.mean(estimates) == pytest.approx(true_count, rel=0.08)
+
+    @given(st.sampled_from([0.02, 0.1, 0.5, 1.0]))
+    @settings(max_examples=8, deadline=None)
+    def test_total_mass_preserved_in_expectation(self, probability):
+        """Sum of one unsigned row ~ total stream weight for any p."""
+        nitro = NitroSketch(
+            CountMinSketch(1, 997, seed=11),
+            NitroConfig(probability=probability, top_k=0, seed=11),
+        )
+        nitro.update_batch(np.arange(20000, dtype=np.int64))
+        assert float(np.sum(nitro.sketch.counters)) == pytest.approx(
+            20000, rel=0.15
+        )
+
+
+class TestAdversarialPatterns:
+    @given(st.integers(0, 2**62))
+    @settings(max_examples=30, deadline=None)
+    def test_single_key_any_value(self, key):
+        sketch = CountSketch(5, 256, seed=13)
+        for _ in range(50):
+            sketch.update(key)
+        assert sketch.query(key) == pytest.approx(50.0)
+
+    @given(st.lists(st.integers(0, 2**62), min_size=2, max_size=30, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_keys_nonnegative_cms(self, keys):
+        sketch = CountMinSketch(4, 128, seed=17)
+        for key in keys:
+            sketch.update(key)
+        for key in keys:
+            assert sketch.query(key) >= 1.0
+
+    @given(SMALL_KEYS)
+    @settings(max_examples=25, deadline=None)
+    def test_univmon_total_matches_stream(self, keys):
+        um = UnivMon(levels=4, depth=3, widths=128, k=10, seed=19)
+        um.update_batch(np.array(keys, dtype=np.int64))
+        assert um.total == len(keys)
+        assert um.packets_seen == len(keys)
+
+    @given(st.lists(st.integers(0, 2**31), min_size=1, max_size=100, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_scramble_then_remap_stays_injective(self, keys):
+        arr = np.array(keys, dtype=np.int64)
+        out = remap_flows(scramble_keys(arr), 0.5)
+        assert len(set(out.tolist())) == len(keys)

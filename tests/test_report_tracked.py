@@ -1,0 +1,115 @@
+"""Tests for the experiment report helpers and TrackedSketch."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ExperimentResult, format_table
+from repro.metrics.opcount import OpCounter
+from repro.sketches import CountSketch, TrackedSketch
+from repro.traffic import zipf_keys
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 20000.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert len(lines) == 4  # header, separator, 2 rows
+
+    def test_mixed_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert "-" in text  # missing values rendered as '-'
+
+    def test_special_floats(self):
+        text = format_table([{"x": float("inf"), "y": float("nan"), "z": 0.12345}])
+        assert "inf" in text
+        assert "nan" in text
+        assert "0.1235" in text or "0.1234" in text
+
+    def test_large_numbers_unrounded_integers(self):
+        text = format_table([{"n": 1234567.0}])
+        assert "1234567" in text
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(name="X", description="desc")
+        result.rows = [
+            {"system": "a", "mpps": 1.0},
+            {"system": "b", "mpps": 2.0},
+        ]
+        result.notes.append("a note")
+        return result
+
+    def test_column(self):
+        assert self._result().column("mpps") == [1.0, 2.0]
+
+    def test_column_missing(self):
+        assert self._result().column("nope") == [None, None]
+
+    def test_filter(self):
+        rows = self._result().filter(system="b")
+        assert len(rows) == 1 and rows[0]["mpps"] == 2.0
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "== X ==" in text
+        assert "desc" in text
+        assert "a note" in text
+        assert "mpps" in text
+
+
+class TestTrackedSketch:
+    def test_scalar_and_batch_same_counters(self):
+        keys = zipf_keys(5000, 500, 1.2, seed=1)
+        a = TrackedSketch(CountSketch(4, 512, seed=2), k=50)
+        b = TrackedSketch(CountSketch(4, 512, seed=2), k=50)
+        for key in keys.tolist():
+            a.update(key)
+        b.update_batch(keys)
+        assert np.allclose(a.sketch.counters, b.sketch.counters)
+
+    def test_heavy_hitters_fresh_and_sorted(self):
+        keys = zipf_keys(20000, 800, 1.3, seed=3)
+        monitor = TrackedSketch(CountSketch(5, 2048, seed=3), k=100)
+        monitor.update_batch(keys)
+        hitters = monitor.heavy_hitters(20)
+        estimates = [est for _, est in hitters]
+        assert estimates == sorted(estimates, reverse=True)
+        for key, estimate in hitters[:5]:
+            assert estimate == monitor.query(key)
+
+    def test_batch_bills_per_packet_probes(self):
+        monitor = TrackedSketch(CountSketch(3, 256, seed=4), k=10)
+        ops = OpCounter()
+        monitor.ops = ops
+        keys = np.array([7] * 100)  # one flow, many packets
+        monitor.update_batch(keys)
+        # 100 packets must bill ~100 heap probes even though only one
+        # distinct key is offered (scalar-path fidelity).
+        assert ops.table_lookups >= 100
+
+    def test_empty_batch(self):
+        monitor = TrackedSketch(CountSketch(3, 256, seed=5), k=10)
+        monitor.update_batch(np.empty(0, dtype=np.int64))
+        assert len(monitor.topk) == 0
+
+    def test_memory_and_reset(self):
+        monitor = TrackedSketch(CountSketch(3, 256, seed=6), k=10)
+        monitor.update(1)
+        assert monitor.memory_bytes() > 3 * 256 * 4 - 1
+        monitor.reset()
+        assert monitor.query(1) == pytest.approx(0.0)
+        assert len(monitor.topk) == 0
+
+    def test_depth_property(self):
+        assert TrackedSketch(CountSketch(7, 64, seed=7), k=5).depth == 7

@@ -1,0 +1,237 @@
+"""Tests for Misra-Gries, linear counting, HyperLogLog, and the strawmen."""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches import (
+    CountSketch,
+    HyperLogLog,
+    LinearCounter,
+    MisraGries,
+    OneArrayCountSketch,
+    UniformSampledSketch,
+)
+
+KEY_LISTS = st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=400)
+
+
+class TestMisraGries:
+    @given(KEY_LISTS)
+    @settings(max_examples=60, deadline=None)
+    def test_mg_error_bound(self, keys):
+        """f_x - m/(k+1) <= estimate <= f_x -- the classic MG guarantee."""
+        k = 8
+        mg = MisraGries(k)
+        for key in keys:
+            mg.update(key)
+        truth = Counter(keys)
+        bound = len(keys) / (k + 1)
+        for key, count in truth.items():
+            estimate = mg.query(key)
+            assert estimate <= count + 1e-9
+            assert estimate >= count - bound - 1e-9
+
+    def test_tracks_dominant_flow(self):
+        mg = MisraGries(4)
+        keys = [1] * 100 + list(range(2, 52))
+        for key in keys:
+            mg.update(key)
+        assert mg.query(1) > 40
+
+    def test_items_sorted_desc(self):
+        mg = MisraGries(5)
+        for key, reps in ((1, 10), (2, 30), (3, 20)):
+            for _ in range(reps):
+                mg.update(key)
+        items = mg.items()
+        values = [v for _, v in items]
+        assert values == sorted(values, reverse=True)
+
+    def test_weighted_updates(self):
+        mg = MisraGries(3)
+        mg.update(1, weight=5.0)
+        assert mg.query(1) == 5.0
+
+    def test_reset(self):
+        mg = MisraGries(3)
+        mg.update(1)
+        mg.reset()
+        assert mg.query(1) == 0.0
+        assert mg.decrement_total == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+
+
+class TestLinearCounter:
+    def test_small_cardinality_accurate(self):
+        lc = LinearCounter(4096, seed=1)
+        for key in range(500):
+            lc.update(key)
+        assert lc.estimate() == pytest.approx(500, rel=0.1)
+
+    def test_duplicates_ignored(self):
+        lc = LinearCounter(1024, seed=2)
+        for _ in range(1000):
+            lc.update(7)
+        assert lc.estimate() == pytest.approx(1.0, abs=2.0)
+
+    def test_saturation_returns_inf(self):
+        lc = LinearCounter(64, seed=3)
+        lc.update_batch(np.arange(10000))
+        assert lc.is_saturated()
+        assert lc.estimate() == math.inf
+
+    def test_batch_matches_scalar(self):
+        a = LinearCounter(512, seed=4)
+        b = LinearCounter(512, seed=4)
+        keys = np.arange(300)
+        for key in keys.tolist():
+            a.update(key)
+        b.update_batch(keys)
+        assert a.estimate() == b.estimate()
+
+    def test_memory_bytes(self):
+        assert LinearCounter(8192).memory_bytes() == 1024
+
+    def test_reset(self):
+        lc = LinearCounter(128, seed=5)
+        lc.update(1)
+        lc.reset()
+        assert lc.zero_fraction() == 1.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            LinearCounter(0)
+
+
+class TestHyperLogLog:
+    def test_accuracy_medium_cardinality(self):
+        hll = HyperLogLog(precision=12, seed=1)
+        hll.update_batch(np.arange(50000))
+        assert hll.estimate() == pytest.approx(50000, rel=0.05)
+
+    def test_small_range_correction(self):
+        hll = HyperLogLog(precision=12, seed=2)
+        for key in range(100):
+            hll.update(key)
+        assert hll.estimate() == pytest.approx(100, rel=0.15)
+
+    def test_duplicates_ignored(self):
+        hll = HyperLogLog(precision=10, seed=3)
+        for _ in range(10000):
+            hll.update(42)
+        assert hll.estimate() == pytest.approx(1.0, abs=2.0)
+
+    def test_batch_matches_scalar(self):
+        a = HyperLogLog(precision=10, seed=4)
+        b = HyperLogLog(precision=10, seed=4)
+        keys = np.arange(5000)
+        for key in keys.tolist():
+            a.update(key)
+        b.update_batch(keys)
+        assert a.estimate() == pytest.approx(b.estimate(), rel=1e-9)
+
+    def test_merge(self):
+        a = HyperLogLog(precision=11, seed=5)
+        b = HyperLogLog(precision=11, seed=5)
+        a.update_batch(np.arange(0, 20000))
+        b.update_batch(np.arange(10000, 30000))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(30000, rel=0.07)
+
+    def test_merge_requires_same_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=10).merge(HyperLogLog(precision=11))
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=19)
+
+    def test_memory(self):
+        assert HyperLogLog(precision=12).memory_bytes() == 4096
+
+    def test_reset(self):
+        hll = HyperLogLog(precision=10, seed=6)
+        hll.update(1)
+        hll.reset()
+        assert hll.estimate() == pytest.approx(0.0, abs=1.0)
+
+
+class TestOneArrayCountSketch:
+    def test_single_row(self):
+        sketch = OneArrayCountSketch(4096, seed=1)
+        assert sketch.depth == 1
+
+    def test_estimates_with_large_array(self):
+        sketch = OneArrayCountSketch(65536, seed=2)
+        for _ in range(100):
+            sketch.update(5)
+        assert sketch.query(5) == pytest.approx(100, abs=10)
+
+    def test_sizing_is_delta_inverse(self):
+        small = OneArrayCountSketch.from_error_bounds(0.1, 0.1)
+        large = OneArrayCountSketch.from_error_bounds(0.1, 0.01)
+        assert large.width == pytest.approx(10 * small.width, rel=0.01)
+
+    def test_sizing_validation(self):
+        with pytest.raises(ValueError):
+            OneArrayCountSketch.from_error_bounds(1.5, 0.1)
+
+
+class TestUniformSampledSketch:
+    def test_unbiased_estimates(self):
+        inner = CountSketch(5, 8192, seed=3)
+        sampled = UniformSampledSketch(inner, probability=0.1, seed=3)
+        keys = np.concatenate([np.full(20000, 1), np.arange(100, 5100)])
+        np.random.default_rng(0).shuffle(keys)
+        sampled.update_batch(keys)
+        assert sampled.query(1) == pytest.approx(20000, rel=0.15)
+
+    def test_sampling_rate_respected(self):
+        inner = CountSketch(3, 1024, seed=4)
+        sampled = UniformSampledSketch(inner, probability=0.25, seed=4)
+        for key in range(10000):
+            sampled.update(key)
+        assert sampled.packets_seen == 10000
+        assert sampled.packets_sampled == pytest.approx(2500, rel=0.15)
+
+    def test_scale_at_query_time(self):
+        inner = CountSketch(3, 4096, seed=5)
+        sampled = UniformSampledSketch(
+            inner, probability=0.5, seed=5, scale_updates=False
+        )
+        for _ in range(2000):
+            sampled.update(8)
+        assert sampled.query(8) == pytest.approx(2000, rel=0.2)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            UniformSampledSketch(CountSketch(2, 16), probability=0.0)
+
+    def test_prng_billed_per_packet(self):
+        from repro.metrics.opcount import OpCounter
+
+        inner = CountSketch(3, 1024, seed=6)
+        sampled = UniformSampledSketch(inner, probability=0.01, seed=6)
+        ops = OpCounter()
+        sampled.ops = ops
+        for key in range(1000):
+            sampled.update(key)
+        assert ops.prng_draws == 1000  # the per-packet coin-flip cost
+        assert ops.packets == 1000
+
+    def test_reset(self):
+        inner = CountSketch(3, 1024, seed=7)
+        sampled = UniformSampledSketch(inner, probability=0.5, seed=7)
+        sampled.update(1)
+        sampled.reset()
+        assert sampled.packets_seen == 0
+        assert sampled.query(1) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for repro.hashing.tabulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.tabulation import TabulationHash
+
+
+class TestTabulationHash:
+    def test_deterministic(self):
+        h1 = TabulationHash(seed=5)
+        h2 = TabulationHash(seed=5)
+        assert all(h1.hash64(k) == h2.hash64(k) for k in range(200))
+
+    def test_different_seeds_differ(self):
+        h1 = TabulationHash(seed=1)
+        h2 = TabulationHash(seed=2)
+        assert h1.hash64(42) != h2.hash64(42)
+
+    def test_ranged_output(self):
+        h = TabulationHash(seed=3, width=17)
+        assert all(0 <= h(k) < 17 for k in range(2000))
+
+    def test_unranged_is_64_bit(self):
+        h = TabulationHash(seed=3)
+        assert all(0 <= h(k) < 2**64 for k in range(200))
+
+    def test_bit_is_balanced(self):
+        h = TabulationHash(seed=7)
+        ones = sum(h.bit(k) for k in range(20000))
+        assert 9000 < ones < 11000
+
+    def test_batch_matches_scalar(self):
+        h = TabulationHash(seed=9)
+        keys = np.arange(0, 3000, 11)
+        batch = h.batch(keys)
+        scalar = [h.hash64(int(k)) for k in keys]
+        assert batch.tolist() == scalar
+
+    def test_bit_batch_matches_scalar(self):
+        h = TabulationHash(seed=13)
+        keys = np.arange(500)
+        assert h.bit_batch(keys).tolist() == [h.bit(int(k)) for k in keys]
+
+    def test_batch_ranged(self):
+        h = TabulationHash(seed=15, width=100)
+        out = h.batch_ranged(np.arange(1000))
+        assert out.min() >= 0
+        assert out.max() < 100
+
+    def test_batch_ranged_requires_width(self):
+        h = TabulationHash(seed=15)
+        with pytest.raises(ValueError):
+            h.batch_ranged(np.arange(5))
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            TabulationHash(seed=1, width=-1)
+
+    def test_key_masked_to_64_bits(self):
+        h = TabulationHash(seed=21)
+        assert h.hash64(2**64 + 5) == h.hash64(5)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=50)
+    def test_avalanche_nonzero(self, key):
+        h = TabulationHash(seed=33)
+        # Flipping a byte changes the hash (tables have no zero rows whp).
+        assert h.hash64(key) != h.hash64(key ^ 0xFF00)

@@ -1,0 +1,210 @@
+"""Tests for the analysis package (Theorems 1/2/5, Appendix B)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    alwayscorrect_width,
+    convergence_threshold,
+    countmin_width,
+    guaranteed_convergence_packets,
+    l2_convergence_requirement,
+    linerate_width,
+    nitro_space_counters,
+    one_array_space_counters,
+    expected_sampled_rows_per_packet,
+    sketch_depth,
+    space_ratio_uniform_vs_nitro,
+    uniform_sampling_space_counters,
+)
+from repro.analysis.theory import caida_l2_growth_coefficient
+
+EPS = st.floats(min_value=0.01, max_value=0.5)
+PROB = st.floats(min_value=0.001, max_value=1.0)
+
+
+class TestSizing:
+    def test_theorem2_width(self):
+        # w = 8 eps^-2 p^-1
+        assert linerate_width(0.05, 0.01) == math.ceil(8 / (0.0025 * 0.01))
+
+    def test_theorem5_width(self):
+        assert alwayscorrect_width(0.05, 0.01) == math.ceil(11 / (0.0025 * 0.01))
+
+    def test_theorem1_width(self):
+        assert countmin_width(0.05) == 80
+
+    def test_depth_log_delta(self):
+        assert sketch_depth(0.5) == 1
+        assert sketch_depth(0.25) == 2
+        assert sketch_depth(0.01) == 7  # ceil(log2(100)) = 7
+
+    def test_total_counters(self):
+        assert nitro_space_counters(0.05, 0.05, 0.01) == linerate_width(
+            0.05, 0.01
+        ) * sketch_depth(0.05)
+
+    @given(EPS, PROB)
+    @settings(max_examples=50)
+    def test_alwayscorrect_needs_more_width(self, epsilon, probability):
+        assert alwayscorrect_width(epsilon, probability) >= linerate_width(
+            epsilon, probability
+        )
+
+    @given(EPS, PROB)
+    @settings(max_examples=50)
+    def test_width_monotone_in_probability(self, epsilon, probability):
+        if probability <= 0.5:
+            assert linerate_width(epsilon, probability) >= linerate_width(
+                epsilon, probability * 2
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linerate_width(0, 0.1)
+        with pytest.raises(ValueError):
+            linerate_width(0.1, 0)
+        with pytest.raises(ValueError):
+            countmin_width(2.0)
+        with pytest.raises(ValueError):
+            sketch_depth(1.5)
+
+
+class TestConvergence:
+    def test_threshold_formula(self):
+        epsilon, probability = 0.05, 0.01
+        expected = 121 * (1 + epsilon * math.sqrt(probability)) / (
+            epsilon**4 * probability**2
+        )
+        assert convergence_threshold(epsilon, probability) == pytest.approx(expected)
+
+    def test_l2_requirement(self):
+        assert l2_convergence_requirement(0.05, 0.01) == pytest.approx(
+            8 / (0.0025 * 0.01)
+        )
+
+    def test_caida_fit_reproduces_paper_anchors(self):
+        """Section 5: L2 ~= 1.28e6 at 10M packets, 1.03e7 at 100M."""
+        coefficient, exponent = caida_l2_growth_coefficient()
+        assert coefficient * (10e6**exponent) == pytest.approx(1.28e6, rel=1e-6)
+        assert coefficient * (100e6**exponent) == pytest.approx(1.03e7, rel=1e-6)
+
+    def test_convergence_packets_monotone_in_rate(self):
+        coefficient, exponent = caida_l2_growth_coefficient()
+        slow = guaranteed_convergence_packets(0.03, 0.02, coefficient, exponent)
+        fast = guaranteed_convergence_packets(0.03, 0.10, coefficient, exponent)
+        assert fast < slow
+
+    def test_convergence_packets_monotone_in_error(self):
+        coefficient, exponent = caida_l2_growth_coefficient()
+        tight = guaranteed_convergence_packets(0.01, 0.05, coefficient, exponent)
+        loose = guaranteed_convergence_packets(0.05, 0.05, coefficient, exponent)
+        assert loose < tight
+
+    def test_paper_convergence_example(self):
+        """Section 5: pmin = 2^-7 gives eps >= 2.9% after 10M packets."""
+        coefficient, exponent = caida_l2_growth_coefficient()
+        packets = guaranteed_convergence_packets(
+            0.029, 2**-7, coefficient, exponent
+        )
+        assert packets == pytest.approx(10e6, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            guaranteed_convergence_packets(0.05, 0.01, -1.0)
+        with pytest.raises(ValueError):
+            guaranteed_convergence_packets(0.05, 0.01, 1.0, 0.0)
+
+
+class TestSampledRows:
+    def test_expected_rows(self):
+        assert expected_sampled_rows_per_packet(5, 0.01) == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_sampled_rows_per_packet(0, 0.5)
+        with pytest.raises(ValueError):
+            expected_sampled_rows_per_packet(5, 0)
+
+
+class TestAppendixB:
+    def test_uniform_sampling_needs_more_space(self):
+        ratio = space_ratio_uniform_vs_nitro(0.05, 0.001, 0.01, 1e6)
+        assert ratio > 1.0
+
+    def test_ratio_grows_with_smaller_delta(self):
+        loose = space_ratio_uniform_vs_nitro(0.05, 0.1, 0.01, 1e6)
+        tight = space_ratio_uniform_vs_nitro(0.05, 1e-6, 0.01, 1e6)
+        assert tight > loose
+
+    def test_uniform_bound_components(self):
+        value = uniform_sampling_space_counters(0.05, 0.05, 0.01, 1e9)
+        first = (0.05**-2) * 100 * math.log(20)
+        assert value >= first
+
+    def test_one_array_counters(self):
+        assert one_array_space_counters(0.1, 0.01) == pytest.approx(1e4)
+
+    def test_one_array_50x_at_delta_001(self):
+        """Paper Section 4.1: delta = 0.01 costs ~50x more memory than the
+        multi-row sketch (eps^-2/delta vs eps^-2 log2(1/delta))."""
+        one_array = one_array_space_counters(0.05, 0.01)
+        multi_row = (0.05**-2) * math.log2(100)
+        assert one_array / multi_row == pytest.approx(100 / math.log2(100), rel=0.01)
+        assert 10 < one_array / multi_row < 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_sampling_space_counters(0.05, 0.05, 0.01, 0)
+        with pytest.raises(ValueError):
+            one_array_space_counters(0.05, 2.0)
+
+
+class TestEmpiricalL2Growth:
+    def test_uniform_traffic_sqrt_growth(self):
+        from repro.analysis import fit_l2_growth, l2_growth_curve
+        from repro.traffic import uniform_keys
+
+        keys = uniform_keys(60000, 50000, seed=1)
+        _, exponent = fit_l2_growth(l2_growth_curve(keys))
+        assert exponent == pytest.approx(0.5, abs=0.08)
+
+    def test_skewed_traffic_near_linear_growth(self):
+        from repro.analysis import fit_l2_growth, l2_growth_curve
+        from repro.traffic import zipf_keys
+
+        keys = zipf_keys(60000, 50000, skew=1.3, seed=2)
+        _, exponent = fit_l2_growth(l2_growth_curve(keys))
+        assert 0.8 < exponent <= 1.05  # paper's CAIDA fit gives ~0.9
+
+    def test_l2_of_prefix_matches_direct(self):
+        from collections import Counter
+
+        from repro.analysis import l2_of_prefix
+        from repro.traffic import zipf_keys
+
+        keys = zipf_keys(5000, 300, 1.1, seed=3)
+        direct = math.sqrt(
+            sum(v * v for v in Counter(keys[:2000].tolist()).values())
+        )
+        assert l2_of_prefix(keys, 2000) == pytest.approx(direct)
+
+    def test_measured_convergence_monotone_in_probability(self):
+        from repro.analysis import measured_convergence_packets
+        from repro.traffic import zipf_keys
+
+        keys = zipf_keys(40000, 20000, 1.0, seed=4)
+        slow = measured_convergence_packets(keys, 0.05, 0.02)
+        fast = measured_convergence_packets(keys, 0.05, 0.2)
+        assert fast < slow
+
+    def test_fit_validation(self):
+        from repro.analysis import fit_l2_growth, l2_growth_curve
+
+        with pytest.raises(ValueError):
+            fit_l2_growth([(100, 5.0)])
+        with pytest.raises(ValueError):
+            l2_growth_curve(np.array([1]))

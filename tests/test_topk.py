@@ -1,0 +1,128 @@
+"""Tests for repro.sketches.topk.TopK."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.opcount import OpCounter
+from repro.sketches.topk import TopK
+
+
+class TestTopKBasics:
+    def test_tracks_up_to_k(self):
+        topk = TopK(3)
+        for key in range(3):
+            assert topk.offer(key, float(key + 1))
+        assert len(topk) == 3
+
+    def test_eviction_of_minimum(self):
+        topk = TopK(2)
+        topk.offer(1, 10.0)
+        topk.offer(2, 20.0)
+        assert topk.offer(3, 15.0)  # evicts key 1
+        assert 1 not in topk
+        assert set(topk.keys()) == {2, 3}
+
+    def test_rejects_below_minimum(self):
+        topk = TopK(2)
+        topk.offer(1, 10.0)
+        topk.offer(2, 20.0)
+        assert not topk.offer(3, 5.0)
+        assert set(topk.keys()) == {1, 2}
+
+    def test_update_existing_key(self):
+        topk = TopK(2)
+        topk.offer(1, 10.0)
+        topk.offer(1, 30.0)
+        assert topk.estimate(1) == 30.0
+        assert len(topk) == 1
+
+    def test_stale_estimate_not_lowered(self):
+        topk = TopK(2)
+        topk.offer(1, 30.0)
+        topk.offer(1, 10.0)  # lower re-offer keeps the max
+        assert topk.estimate(1) == 30.0
+
+    def test_ranked_order(self):
+        topk = TopK(5)
+        for key, est in ((1, 5.0), (2, 50.0), (3, 20.0)):
+            topk.offer(key, est)
+        assert [key for key, _ in topk.ranked()] == [2, 3, 1]
+
+    def test_min_estimate(self):
+        topk = TopK(3)
+        assert topk.min_estimate() == 0.0
+        topk.offer(1, 7.0)
+        topk.offer(2, 3.0)
+        assert topk.min_estimate() == 3.0
+
+    def test_min_estimate_after_updates(self):
+        topk = TopK(2)
+        topk.offer(1, 1.0)
+        topk.offer(2, 2.0)
+        topk.offer(1, 5.0)  # stale (1.0, 1) entry must be skipped
+        assert topk.min_estimate() == 2.0
+
+    def test_estimate_keyerror(self):
+        with pytest.raises(KeyError):
+            TopK(2).estimate(1)
+
+    def test_reset(self):
+        topk = TopK(2)
+        topk.offer(1, 1.0)
+        topk.reset()
+        assert len(topk) == 0
+        assert topk.min_estimate() == 0.0
+
+    def test_items_iterates_pairs(self):
+        topk = TopK(3)
+        topk.offer(1, 2.0)
+        assert list(topk.items()) == [(1, 2.0)]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+    def test_memory_positive(self):
+        topk = TopK(4)
+        topk.offer(1, 1.0)
+        assert topk.memory_bytes() > 0
+
+    def test_ops_recording(self):
+        topk = TopK(2)
+        ops = OpCounter()
+        topk.ops = ops
+        topk.offer(1, 1.0)
+        assert ops.table_lookups == 1
+        assert ops.heap_ops == 1  # insertion push
+
+
+class TestTopKProperty:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.floats(0.1, 1000)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100)
+    def test_monotone_offers_match_exact_topk(self, offers):
+        """With monotonically growing per-key estimates, the store holds
+        exactly the top-k keys by final value."""
+        k = 5
+        topk = TopK(k)
+        best = {}
+        for key, value in offers:
+            # Make per-key sequences monotone (like growing counters).
+            value = max(value, best.get(key, 0.0) + 0.001)
+            best[key] = value
+            topk.offer(key, value)
+        held = set(topk.keys())
+        assert len(held) == min(k, len(best))
+        # Every held key's estimate matches its final offered value.
+        for key in held:
+            assert topk.estimate(key) == pytest.approx(best[key])
+        # Monotone offers guarantee every held key's final value is >= the
+        # k-th largest final value (ties may swap equal-valued keys).
+        kth_value = sorted(best.values(), reverse=True)[: k][-1]
+        for key in held:
+            assert best[key] >= kth_value - 1e-9

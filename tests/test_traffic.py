@@ -1,0 +1,226 @@
+"""Tests for trace generation, replay, and the on-disk format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic import (
+    Replayer,
+    Trace,
+    caida_like,
+    datacenter_like,
+    ddos_like,
+    load_trace,
+    malware_like,
+    min_sized_stress,
+    remap_flows,
+    save_trace,
+    scramble_keys,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.traffic.flows import flow_size_distribution, true_counts
+
+
+class TestFlowGeneration:
+    def test_zipf_range(self):
+        keys = zipf_keys(10000, 500, 1.1, seed=1)
+        assert keys.min() >= 0
+        assert keys.max() < 500
+
+    def test_zipf_rank_ordering(self):
+        """Flow 0 (rank 1) must be the most frequent."""
+        keys = zipf_keys(50000, 1000, 1.2, seed=2)
+        counts = true_counts(keys)
+        assert counts[0] == max(counts.values())
+
+    def test_higher_skew_more_concentrated(self):
+        light = zipf_keys(50000, 1000, 0.8, seed=3)
+        heavy = zipf_keys(50000, 1000, 1.8, seed=3)
+        top_light = true_counts(light).get(0, 0)
+        top_heavy = true_counts(heavy).get(0, 0)
+        assert top_heavy > top_light
+
+    def test_uniform_keys_spread(self):
+        keys = uniform_keys(50000, 100, seed=4)
+        counts = true_counts(keys)
+        assert len(counts) == 100
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_flow_size_distribution_sums_to_total(self):
+        sizes = flow_size_distribution(100, 1.1, 10000)
+        assert sizes.sum() == pytest.approx(10000)
+        assert sizes[0] == max(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_keys(-1, 10)
+        with pytest.raises(ValueError):
+            zipf_keys(10, 0)
+        with pytest.raises(ValueError):
+            zipf_keys(10, 10, skew=-1)
+
+    @given(st.lists(st.integers(0, 10000), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_scramble_is_injective(self, values):
+        unique = list(set(values))
+        scrambled = scramble_keys(np.array(unique, dtype=np.int64))
+        assert len(set(scrambled.tolist())) == len(unique)
+
+    def test_remap_fraction(self):
+        keys = np.arange(20000, dtype=np.int64)
+        remapped = remap_flows(keys, 0.3)
+        fraction = np.mean(remapped != keys)
+        assert fraction == pytest.approx(0.3, abs=0.02)
+
+    def test_remap_consistent_per_flow(self):
+        """All packets of one flow move together."""
+        keys = np.array([5, 5, 5, 9, 9], dtype=np.int64)
+        remapped = remap_flows(keys, 0.5)
+        assert len(set(remapped[:3].tolist())) == 1
+        assert len(set(remapped[3:].tolist())) == 1
+
+    def test_remap_extremes(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(remap_flows(keys, 0.0), keys)
+        assert np.all(remap_flows(keys, 1.0) != keys)
+
+    def test_remap_validation(self):
+        with pytest.raises(ValueError):
+            remap_flows(np.arange(5), 1.5)
+
+
+class TestTraceFamilies:
+    def test_caida_mean_packet_size(self):
+        trace = caida_like(20000, seed=1)
+        assert trace.mean_packet_size == pytest.approx(714, rel=0.05)
+
+    def test_datacenter_mean_packet_size_and_skew(self):
+        dc = datacenter_like(20000, seed=2)
+        assert dc.mean_packet_size == pytest.approx(747, rel=0.05)
+        caida = caida_like(20000, n_flows=20_000, seed=2)
+        # DC is "quite skewed": top flow carries a larger traffic share.
+        dc_top = max(dc.counts().values()) / len(dc)
+        caida_top = max(caida.counts().values()) / len(caida)
+        assert dc_top > caida_top
+
+    def test_ddos_mean_size_and_sources(self):
+        trace = ddos_like(20000, seed=3)
+        assert trace.mean_packet_size == pytest.approx(272, rel=0.1)
+        assert trace.src_addresses is not None
+        assert len(trace.src_addresses) == len(trace)
+
+    def test_ddos_attack_fraction_widens_flows(self):
+        mild = ddos_like(30000, attack_fraction=0.0, seed=4)
+        heavy = ddos_like(30000, attack_fraction=0.8, seed=4)
+        assert heavy.flow_count() > mild.flow_count()
+
+    def test_min_sized_is_64b(self):
+        trace = min_sized_stress(1000, seed=5)
+        assert np.all(trace.sizes == 64)
+
+    def test_malware_many_flows(self):
+        trace = malware_like(50000, n_flows=40000, seed=6)
+        assert trace.flow_count() > 20000
+
+    def test_timestamps_monotone(self):
+        trace = caida_like(5000, seed=7)
+        assert np.all(np.diff(trace.timestamps) >= 0)
+
+    def test_offered_rate_respected(self):
+        trace = caida_like(50000, offered_gbps=40.0, seed=8)
+        wire_bits = float(np.sum(trace.sizes.astype(np.float64) + 20) * 8)
+        rate = wire_bits / trace.timestamps[-1] / 1e9
+        assert rate == pytest.approx(40.0, rel=0.02)
+
+    def test_slice(self):
+        trace = caida_like(1000, seed=9)
+        part = trace.slice(100, 200)
+        assert len(part) == 100
+        assert np.array_equal(part.keys, trace.keys[100:200])
+
+    def test_counts_exact(self):
+        trace = caida_like(5000, n_flows=100, seed=10)
+        counts = trace.counts()
+        assert sum(counts.values()) == 5000
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                keys=np.arange(5),
+                sizes=np.arange(4, dtype=np.int32),
+                timestamps=np.arange(5, dtype=np.float64),
+            )
+
+    def test_ddos_validation(self):
+        with pytest.raises(ValueError):
+            ddos_like(100, attack_fraction=1.5)
+
+
+class TestReplayer:
+    def test_batches_cover_trace(self):
+        trace = caida_like(1000, seed=11)
+        replayer = Replayer(trace, batch_size=64)
+        total = sum(len(batch) for batch in replayer)
+        assert total == 1000
+
+    def test_batch_size_respected(self):
+        trace = caida_like(1000, seed=12)
+        batches = list(Replayer(trace, batch_size=128))
+        assert all(len(batch) == 128 for batch in batches[:-1])
+        assert len(batches[-1]) == 1000 % 128 or len(batches[-1]) == 128
+
+    def test_rate_rescaling(self):
+        trace = caida_like(5000, offered_gbps=10.0, seed=13)
+        replayer = Replayer(trace, offered_gbps=40.0)
+        assert replayer.offered_rate_mpps == pytest.approx(
+            4 * Replayer(trace).offered_rate_mpps, rel=0.01
+        )
+
+    def test_batch_wire_bits(self):
+        trace = min_sized_stress(100, seed=14)
+        batch = next(iter(Replayer(trace, batch_size=100)))
+        assert batch.wire_bits == pytest.approx(100 * (64 + 20) * 8)
+
+    def test_validation(self):
+        trace = caida_like(100, seed=15)
+        with pytest.raises(ValueError):
+            Replayer(trace, batch_size=0)
+        with pytest.raises(ValueError):
+            Replayer(trace, offered_gbps=0)
+
+
+class TestPcapLite:
+    def test_roundtrip(self, tmp_path):
+        trace = ddos_like(2000, seed=16)
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert np.array_equal(loaded.keys, trace.keys)
+        assert np.array_equal(loaded.sizes, trace.sizes)
+        assert np.array_equal(loaded.timestamps, trace.timestamps)
+        assert np.array_equal(loaded.src_addresses, trace.src_addresses)
+
+    def test_roundtrip_without_sources(self, tmp_path):
+        trace = caida_like(500, seed=17)
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.src_addresses is None
+        assert np.array_equal(loaded.keys, trace.keys)
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, n_packets):
+        import os
+        import tempfile
+
+        trace = min_sized_stress(n_packets, n_flows=10, seed=n_packets)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "t.npz")
+            save_trace(trace, path)
+            loaded = load_trace(path)
+        assert len(loaded) == n_packets
+        assert np.array_equal(loaded.keys, trace.keys)

@@ -1,0 +1,118 @@
+"""Tests for sliding-window monitoring and UnivMon frequency moments."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.control import SlidingWindowMonitor
+from repro.core import NitroConfig, NitroSketch
+from repro.sketches import CountSketch, UnivMon
+from repro.traffic import zipf_keys
+
+
+def nitro_factory(seed=5, probability=0.2):
+    def make():
+        return NitroSketch(
+            CountSketch(4, 4096, seed=seed),
+            NitroConfig(probability=probability, top_k=100, seed=seed),
+        )
+
+    return make
+
+
+def vanilla_factory(seed=5):
+    return lambda: CountSketch(4, 4096, seed=seed)
+
+
+class TestSlidingWindow:
+    def test_window_counts_recent_epochs_only(self):
+        window = SlidingWindowMonitor(vanilla_factory(), window_epochs=2, epoch_packets=1000)
+        window.update_batch(np.full(1000, 7, dtype=np.int64))   # epoch 0
+        window.update_batch(np.full(1000, 8, dtype=np.int64))   # epoch 1
+        window.update_batch(np.full(1000, 9, dtype=np.int64))   # epoch 2
+        # Window of 2 epochs = last completed epoch (key 9) + the empty
+        # in-progress epoch; epochs 0 and 1 have aged out.
+        assert window.query(9) == pytest.approx(1000, abs=50)
+        assert window.query(7) == pytest.approx(0, abs=50)
+
+    def test_scalar_updates_rotate(self):
+        window = SlidingWindowMonitor(vanilla_factory(), window_epochs=3, epoch_packets=100)
+        for _ in range(250):
+            window.update(3)
+        assert window.epochs_rotated == 2
+        assert window.window_packets() == 250
+        assert window.query(3) == pytest.approx(250, abs=20)
+
+    def test_aging_out(self):
+        window = SlidingWindowMonitor(
+            nitro_factory(), window_epochs=3, epoch_packets=5000
+        )
+        heavy = np.concatenate(
+            [np.full(2000, 42), zipf_keys(3000, 1000, 1.0, seed=1)]
+        ).astype(np.int64)
+        background = zipf_keys(5000, 1000, 1.0, seed=2)
+        window.update_batch(heavy)
+        inside = window.query(42)
+        for _ in range(3):
+            window.update_batch(background)
+        assert window.query(42) < inside / 4
+
+    def test_heavy_hitters_over_window(self):
+        window = SlidingWindowMonitor(
+            nitro_factory(probability=0.5), window_epochs=2, epoch_packets=4000
+        )
+        keys = np.concatenate(
+            [np.full(1500, 99), zipf_keys(2500, 800, 1.0, seed=3)]
+        ).astype(np.int64)
+        window.update_batch(keys)
+        hitters = dict(window.heavy_hitters(500))
+        assert 99 in hitters
+
+    def test_merged_equals_sum_of_queries(self):
+        window = SlidingWindowMonitor(vanilla_factory(), window_epochs=3, epoch_packets=500)
+        window.update_batch(zipf_keys(1400, 100, 1.1, seed=4))
+        merged = window.merged()
+        for key in range(20):
+            assert merged.query(key) == pytest.approx(window.query(key), abs=1e-6)
+
+    def test_memory_scales_with_window(self):
+        small = SlidingWindowMonitor(vanilla_factory(), window_epochs=1, epoch_packets=100)
+        large = SlidingWindowMonitor(vanilla_factory(), window_epochs=4, epoch_packets=100)
+        for _ in range(350):
+            small.update(1)
+            large.update(1)
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMonitor(vanilla_factory(), window_epochs=0, epoch_packets=10)
+        with pytest.raises(ValueError):
+            SlidingWindowMonitor(vanilla_factory(), window_epochs=2, epoch_packets=0)
+
+
+class TestFrequencyMoments:
+    def make_univmon(self):
+        return UnivMon(levels=10, depth=5, widths=4096, k=300, seed=7)
+
+    def test_f1_is_total(self):
+        keys = zipf_keys(30000, 500, 1.2, seed=7)
+        um = self.make_univmon()
+        um.update_batch(keys)
+        assert um.frequency_moment(1) == pytest.approx(30000, rel=0.35)
+
+    def test_f2_matches_truth(self):
+        keys = zipf_keys(30000, 2000, 1.2, seed=8)
+        um = self.make_univmon()
+        um.update_batch(keys)
+        truth = sum(v * v for v in Counter(keys.tolist()).values())
+        assert um.frequency_moment(2) == pytest.approx(truth, rel=0.35)
+
+    def test_f0_is_distinct(self):
+        um = self.make_univmon()
+        um.update_batch(zipf_keys(10000, 300, 1.0, seed=9))
+        assert um.frequency_moment(0) == um.distinct_estimate()
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            self.make_univmon().frequency_moment(-1)
