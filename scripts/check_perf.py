@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Guard the fused-kernel throughput against the committed baseline.
+
+Usage:  PYTHONPATH=src python scripts/check_perf.py [--update] [--factor F]
+
+Re-runs :mod:`repro.experiments.kernelbench` and compares each bench's
+``fused_rate`` against ``BENCH_kernels.json``.  A bench failing to reach
+``factor`` (default 0.7, i.e. a >30% regression) of its baseline rate
+fails the check, as does missing either of the kernel-layer speedup
+gates (kwise >= 5x over the object-dtype path, NitroSketch batch >= 2x
+end-to-end).  ``--update`` rewrites the baseline from this run instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite BENCH_kernels.json from this run"
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=0.7,
+        help="minimum fused_rate as a fraction of baseline (default 0.7)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    from repro.experiments import kernelbench
+
+    result = kernelbench.run(scale=args.scale, repeats=args.repeats)
+    current = kernelbench.payload(result)
+
+    if args.update:
+        kernelbench.write_baseline(os.path.abspath(BASELINE), result=result)
+        print("updated %s" % os.path.abspath(BASELINE))
+        return 0
+
+    try:
+        with open(BASELINE) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print("no baseline at %s -- run with --update first" % BASELINE)
+        return 1
+
+    failures = []
+    for name, base in sorted(baseline["benches"].items()):
+        now = current["benches"].get(name)
+        if now is None:
+            failures.append("%s: bench disappeared from kernelbench" % name)
+            continue
+        floor = base["fused_rate"] * args.factor
+        status = "ok" if now["fused_rate"] >= floor else "REGRESSION"
+        print(
+            "%-32s baseline %8.2f  now %8.2f  floor %8.2f  %s (%s)"
+            % (name, base["fused_rate"], now["fused_rate"], floor, status, base["unit"])
+        )
+        if now["fused_rate"] < floor:
+            failures.append(
+                "%s: %.2f < %.2f (%.0f%% of baseline %.2f)"
+                % (name, now["fused_rate"], floor, 100 * args.factor, base["fused_rate"])
+            )
+
+    gates = [
+        ("kwise4_batch_hash", kernelbench.KWISE_SPEEDUP_FLOOR),
+        ("nitro_countsketch_update_batch", kernelbench.NITRO_SPEEDUP_FLOOR),
+    ]
+    for name, floor in gates:
+        speedup = current["benches"][name]["speedup"]
+        status = "ok" if speedup >= floor else "GATE MISSED"
+        print("%-32s speedup %.2fx (gate %.1fx)  %s" % (name, speedup, floor, status))
+        if speedup < floor:
+            failures.append("%s: speedup %.2fx below gate %.1fx" % (name, speedup, floor))
+
+    if failures:
+        print("\nperformance check FAILED:")
+        for failure in failures:
+            print("  - %s" % failure)
+        return 1
+    print("\nperformance check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -242,14 +242,11 @@ class NitroSketch:
                 self.sampler.set_probability(new_probability)
         if self.correctness is not None and not self.correctness.converged:
             # Warm-up: exact vectorised update, then check convergence.
+            # The batch is already billed as packets above, so the inner
+            # update is told not to recount it.
             self.packets_sampled += count
-            self.sketch.update_batch(keys, weights)
-            self.ops.packet(-count)  # inner call recounted the batch
-            if self.topk is not None:
-                unique_keys = np.unique(keys)
-                self.ops.table_lookup(count - len(unique_keys))
-                for key in unique_keys.tolist():
-                    self.topk.offer(int(key), self.sketch.query(int(key)))
+            self.sketch.update_batch(keys, weights, count_packets=False)
+            self._offer_topk(keys, count)
             if self.correctness.on_batch(count):
                 self.sampler.set_probability(self.config.probability)
             return
@@ -258,13 +255,8 @@ class NitroSketch:
         depth = self.sketch.depth
         if probability >= 1.0:
             self.packets_sampled += count
-            self.sketch.update_batch(keys, weights)
-            self.ops.packet(-count)
-            if self.topk is not None:
-                unique_keys = np.unique(keys)
-                self.ops.table_lookup(count - len(unique_keys))
-                for key in unique_keys.tolist():
-                    self.topk.offer(int(key), self.sketch.query(int(key)))
+            self.sketch.update_batch(keys, weights, count_packets=False)
+            self._offer_topk(keys, count)
             return
 
         total_slots = count * depth
@@ -294,19 +286,12 @@ class NitroSketch:
 
         sampled_keys = keys[packet_idx]
         self.sketch.note_batch_mass(float(np.sum(slot_weights)))
-        for row in range(depth):
-            mask = rows == row
-            if not np.any(mask):
-                continue
-            row_keys = sampled_keys[mask]
-            self.ops.hash(len(row_keys))
-            buckets = self.sketch.row_hashes[row].batch(row_keys)
-            if self.sketch.signed:
-                signs = self.sketch.row_signs[row].batch(row_keys)
-                np.add.at(self.sketch.counters[row], buckets, slot_weights[mask] * signs)
-            else:
-                np.add.at(self.sketch.counters[row], buckets, slot_weights[mask])
-            self.ops.counter_update(len(row_keys))
+        # One fused kernel call hashes and scatters every sampled slot
+        # at once (row-indexed hashing + flat-index scatter-add), instead
+        # of the old per-row mask/`np.add.at` loop.
+        self.ops.hash(len(positions))
+        self.sketch.kernel.slot_update(rows, sampled_keys, slot_weights)
+        self.ops.counter_update(len(positions))
 
         sampled_packets = int(np.unique(packet_idx).size)
         self.packets_sampled += sampled_packets
@@ -314,8 +299,19 @@ class NitroSketch:
             unique_keys = np.unique(sampled_keys)
             # Scalar ingest probes the heap once per *sampled packet*.
             self.ops.table_lookup(max(sampled_packets - len(unique_keys), 0))
-            for key in unique_keys.tolist():
-                self.topk.offer(int(key), self.sketch.query(int(key)))
+            estimates = self.sketch.query_batch(unique_keys)
+            for key, estimate in zip(unique_keys.tolist(), estimates.tolist()):
+                self.topk.offer(int(key), float(estimate))
+
+    def _offer_topk(self, keys: "np.ndarray", count: int) -> None:
+        """Offer each distinct key of an exact-phase batch to the heap."""
+        if self.topk is None:
+            return
+        unique_keys = np.unique(keys)
+        self.ops.table_lookup(count - len(unique_keys))
+        estimates = self.sketch.query_batch(unique_keys)
+        for key, estimate in zip(unique_keys.tolist(), estimates.tolist()):
+            self.topk.offer(int(key), float(estimate))
 
     # -- queries -----------------------------------------------------------------
 
@@ -323,23 +319,27 @@ class NitroSketch:
         """Point frequency estimate (the wrapped sketch's own rule)."""
         return self.sketch.query(key)
 
+    def _fresh_estimates(self) -> List[Tuple[int, float]]:
+        """Batch-requery every tracked key (one fused query_batch call)."""
+        tracked = list(self.topk.keys()) if self.topk is not None else []
+        if not tracked:
+            return []
+        estimates = self.sketch.query_batch(np.asarray(tracked))
+        return [(key, float(est)) for key, est in zip(tracked, estimates.tolist())]
+
     def heavy_hitters(self, threshold: float) -> List[Tuple[int, float]]:
         """Tracked flows with a fresh estimate above ``threshold``."""
         if self.topk is None:
             raise RuntimeError("top-k tracking disabled (config.top_k == 0)")
         hitters = [
-            (key, self.sketch.query(key))
-            for key in self.topk.keys()
+            (key, est) for key, est in self._fresh_estimates() if est > threshold
         ]
-        hitters = [(key, est) for key, est in hitters if est > threshold]
         hitters.sort(key=lambda item: (-item[1], item[0]))
         return hitters
 
     def top_items(self) -> List[Tuple[int, float]]:
         """Tracked (key, fresh estimate) pairs -- UnivMon's per-level hook."""
-        if self.topk is None:
-            return []
-        return [(key, self.sketch.query(key)) for key in self.topk.keys()]
+        return self._fresh_estimates()
 
     def l2_estimate(self) -> float:
         """AMS L2 estimate from the wrapped sketch (signed sketches only)."""

@@ -209,38 +209,34 @@ class NitroUnivMon(UnivMon):
         else:
             slot_weights = np.asarray(weights, dtype=np.float64)[packet_idx] * inverse
 
-        updated_pairs = set()
+        updated_keys = {}
         for level in range(self.levels):
             level_mask = (level_idx == level) & in_level
             if not np.any(level_mask):
                 continue
             sketch = self.sketches[level].sketch
-            for row in range(depth):
-                mask = level_mask & (row_idx == row)
-                if not np.any(mask):
-                    continue
-                row_keys = sampled_keys[mask]
-                self.ops.hash(len(row_keys))
-                buckets = sketch.row_hashes[row].batch(row_keys)
-                signs = sketch.row_signs[row].batch(row_keys)
-                np.add.at(sketch.counters[row], buckets, slot_weights[mask] * signs)
-                self.ops.counter_update(len(row_keys))
-            for key in np.unique(sampled_keys[level_mask]).tolist():
-                updated_pairs.add((level, int(key)))
+            level_rows = row_idx[level_mask]
+            level_keys = sampled_keys[level_mask]
+            # Fused per-level scatter: one kernel call replaces the old
+            # per-row mask/np.add.at loop, with identical op accounting
+            # (one hash + one counter update per sampled slot).
+            self.ops.hash(len(level_keys))
+            sketch.kernel.slot_update(level_rows, level_keys, slot_weights[level_mask])
+            self.ops.counter_update(len(level_keys))
+            updated_keys[level] = np.unique(level_keys)
 
         self._packets_sampled += int(
             np.unique(packet_idx[in_level]).size
         )
-        for level, key in updated_pairs:
+        for level, unique_keys in updated_keys.items():
             unit = self.sketches[level]
-            unit.topk.offer(key, unit.sketch.query(key))
+            estimates = unit.sketch.query_batch(unique_keys)
+            for key, estimate in zip(unique_keys.tolist(), estimates.tolist()):
+                unit.topk.offer(int(key), float(estimate))
 
     def _exact_batch(self, keys, weights) -> None:
         """Vanilla UnivMon batch path, without re-counting packets/total."""
-        self.packets_seen -= len(keys)
-        self.total -= len(keys) if weights is None else float(np.sum(weights))
-        self.ops.packet(-len(keys))
-        super().update_batch(keys, weights)
+        super().update_batch(keys, weights, count_packets=False)
 
     # -- bookkeeping ----------------------------------------------------------
 

@@ -1,0 +1,288 @@
+"""Kernel-layer benchmark: fused batch paths vs the seed implementations.
+
+The fused kernels (:mod:`repro.kernels`) replaced three hot paths:
+
+* ``KWiseHash.batch`` -- object-dtype Python big-int polynomial
+  evaluation -> native ``uint64`` Mersenne-61 arithmetic;
+* ``CanonicalSketch.update_batch`` -- per-row Python loop with one
+  ``np.add.at`` scatter per row -> one broadcast hash over every row
+  plus a single flat-index scatter;
+* ``NitroSketch.update_batch`` -- per-row mask loop plus *scalar*
+  top-k query offers -> fused slot kernel plus ``query_batch``.
+
+This module keeps faithful copies of the seed implementations (pinned
+below, verbatim from the pre-kernel revision) and times both sides on
+the same CAIDA-like workload.  ``python -m repro.experiments.kernelbench``
+writes the machine-readable ``BENCH_kernels.json`` baseline that
+``scripts/check_perf.py`` regresses against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core import NitroSketch
+from repro.experiments.report import ExperimentResult, print_result
+from repro.hashing.families import MERSENNE_PRIME_61, KWiseHash
+from repro.sketches import CountMinSketch, CountSketch
+from repro.traffic import caida_like
+
+#: Shapes match the paper's Section-7 Count Sketch configuration.
+DEPTH, WIDTH = 5, 102400
+
+#: Minimum speedups the kernel layer must deliver (acceptance gates).
+KWISE_SPEEDUP_FLOOR = 5.0
+NITRO_SPEEDUP_FLOOR = 2.0
+
+
+# -- seed (pre-kernel) reference implementations ---------------------------
+
+
+def legacy_kwise_batch(hash_fn: KWiseHash, keys: "np.ndarray") -> "np.ndarray":
+    """The seed ``KWiseHash.batch``: object-dtype big-int Horner loop."""
+    ks = np.asarray(keys, dtype=object) % MERSENNE_PRIME_61
+    acc = np.zeros(ks.shape, dtype=object)
+    for coeff in reversed(hash_fn._coeffs):
+        acc = (acc * ks + coeff) % MERSENNE_PRIME_61
+    return (acc % hash_fn.width).astype(np.int64)
+
+
+def legacy_update_batch(sketch, keys: "np.ndarray", weights=None) -> None:
+    """The seed ``CanonicalSketch.update_batch``: per-row ``np.add.at``."""
+    keys = np.asarray(keys)
+    if weights is None:
+        weights = np.ones(keys.shape, dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+    sketch.ops.packet(len(keys))
+    for row in range(sketch.depth):
+        sketch.ops.hash(len(keys))
+        buckets = sketch.row_hashes[row].batch(keys)
+        if sketch.signed:
+            signs = sketch.row_signs[row].batch(keys)
+            np.add.at(sketch.counters[row], buckets, weights * signs)
+        else:
+            np.add.at(sketch.counters[row], buckets, weights)
+        sketch.ops.counter_update(len(keys))
+
+
+def legacy_nitro_update_batch(nitro: NitroSketch, keys: "np.ndarray", weights=None) -> None:
+    """The seed ``NitroSketch.update_batch`` sampled path.
+
+    Per-row mask loop over the sampled slots, then one *scalar*
+    ``sketch.query`` per distinct sampled key for the top-k offers --
+    the dominant cost the fused path removes.
+    """
+    from repro.core.geometric import geometric_positions
+
+    keys = np.asarray(keys)
+    count = len(keys)
+    if count == 0:
+        return
+    nitro.packets_seen += count
+    nitro.ops.packet(count)
+
+    probability = nitro.sampler.probability
+    depth = nitro.sketch.depth
+    total_slots = count * depth
+    if nitro._pending >= total_slots:
+        nitro._pending -= total_slots
+        return
+    first = nitro._pending
+    tail, leftover = geometric_positions(
+        probability, total_slots - first - 1, nitro._batch_rng
+    )
+    positions = np.concatenate([np.array([first], dtype=np.int64), first + 1 + tail])
+    nitro._pending = leftover
+    nitro.ops.prng(len(positions))
+
+    packet_idx = positions // depth
+    rows = positions % depth
+    inverse = 1.0 / probability
+    if weights is None:
+        slot_weights = np.full(positions.shape, inverse, dtype=np.float64)
+    else:
+        slot_weights = np.asarray(weights, dtype=np.float64)[packet_idx] * inverse
+
+    sampled_keys = keys[packet_idx]
+    nitro.sketch.note_batch_mass(float(np.sum(slot_weights)))
+    sketch = nitro.sketch
+    for row in range(depth):
+        mask = rows == row
+        if not np.any(mask):
+            continue
+        row_keys = sampled_keys[mask]
+        nitro.ops.hash(len(row_keys))
+        buckets = sketch.row_hashes[row].batch(row_keys)
+        if sketch.signed:
+            signs = sketch.row_signs[row].batch(row_keys)
+            np.add.at(sketch.counters[row], buckets, slot_weights[mask] * signs)
+        else:
+            np.add.at(sketch.counters[row], buckets, slot_weights[mask])
+        nitro.ops.counter_update(len(row_keys))
+
+    sampled_packets = int(np.unique(packet_idx).size)
+    nitro.packets_sampled += sampled_packets
+    if nitro.topk is not None:
+        unique_keys = np.unique(sampled_keys)
+        nitro.ops.table_lookup(max(sampled_packets - len(unique_keys), 0))
+        for key in unique_keys.tolist():
+            nitro.topk.offer(int(key), nitro.sketch.query(int(key)))
+
+
+def legacy_query_loop(sketch, keys: "np.ndarray") -> "np.ndarray":
+    """Per-key scalar point queries (what heavy-hitter reports used)."""
+    return np.array([sketch.query(int(key)) for key in keys], dtype=np.float64)
+
+
+# -- timing harness --------------------------------------------------------
+
+
+def _best_time(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(scale: float = 1.0, seed: int = 0, repeats: int = 3) -> ExperimentResult:
+    """Time legacy vs fused on each replaced hot path.
+
+    Rates are millions of keys (or packets) per second over a shared
+    CAIDA-like trace; ``speedup`` is fused over legacy.
+    """
+    n = max(10_000, int(200_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    result = ExperimentResult(
+        name="kernelbench",
+        description=(
+            "Fused batch kernels vs the seed implementations "
+            "(%d-packet CAIDA-like trace, best of %d)" % (n, repeats)
+        ),
+    )
+
+    def bench(name, unit, count, legacy_fn, fused_fn):
+        legacy_s = _best_time(legacy_fn, repeats)
+        fused_s = _best_time(fused_fn, repeats)
+        row = {
+            "bench": name,
+            "unit": unit,
+            "legacy_rate": count / legacy_s / 1e6,
+            "fused_rate": count / fused_s / 1e6,
+            "speedup": legacy_s / fused_s,
+        }
+        result.rows.append(row)
+        return row
+
+    # 1. Four-wise polynomial hashing (UnivMon samplers, SignHash).
+    kwise = KWiseHash(4, WIDTH, seed=seed + 11)
+    kwise_row = bench(
+        "kwise4_batch_hash",
+        "Mkeys/s",
+        len(keys),
+        lambda: legacy_kwise_batch(kwise, keys),
+        lambda: kwise.batch(keys),
+    )
+
+    # 2. Whole-sketch vanilla batch updates (unsigned and signed).
+    cm_legacy = CountMinSketch(DEPTH, WIDTH, seed=seed + 21)
+    cm_fused = CountMinSketch(DEPTH, WIDTH, seed=seed + 21)
+    bench(
+        "countmin_update_batch",
+        "Mpps",
+        len(keys),
+        lambda: legacy_update_batch(cm_legacy, keys),
+        lambda: cm_fused.update_batch(keys),
+    )
+    cs_legacy = CountSketch(DEPTH, WIDTH, seed=seed + 22)
+    cs_fused = CountSketch(DEPTH, WIDTH, seed=seed + 22)
+    bench(
+        "countsketch_update_batch",
+        "Mpps",
+        len(keys),
+        lambda: legacy_update_batch(cs_legacy, keys),
+        lambda: cs_fused.update_batch(keys),
+    )
+
+    # 3. NitroSketch end-to-end (sampled slots + top-k offers).
+    nitro_legacy = NitroSketch(
+        CountSketch(DEPTH, WIDTH, seed=seed + 31), probability=0.01, top_k=100
+    )
+    nitro_fused = NitroSketch(
+        CountSketch(DEPTH, WIDTH, seed=seed + 31), probability=0.01, top_k=100
+    )
+    nitro_row = bench(
+        "nitro_countsketch_update_batch",
+        "Mpps",
+        len(keys),
+        lambda: legacy_nitro_update_batch(nitro_legacy, keys),
+        lambda: nitro_fused.update_batch(keys),
+    )
+
+    # 4. Batch point queries (heavy-hitter report path).
+    probe_sketch = CountSketch(DEPTH, WIDTH, seed=seed + 41)
+    probe_sketch.update_batch(keys)
+    probe = np.unique(keys)[: max(2_000, n // 40)]
+    bench(
+        "countsketch_query_batch",
+        "Mkeys/s",
+        len(probe),
+        lambda: legacy_query_loop(probe_sketch, probe),
+        lambda: probe_sketch.query_batch(probe),
+    )
+
+    result.notes.append(
+        "gates: kwise4 speedup >= %.1fx (got %.1fx), nitro end-to-end >= "
+        "%.1fx (got %.1fx)"
+        % (
+            KWISE_SPEEDUP_FLOOR,
+            kwise_row["speedup"],
+            NITRO_SPEEDUP_FLOOR,
+            nitro_row["speedup"],
+        )
+    )
+    return result
+
+
+def payload(result: ExperimentResult) -> Dict:
+    """The JSON shape ``BENCH_kernels.json`` / ``check_perf.py`` use."""
+    return {
+        "generated_by": "python -m repro.experiments.kernelbench",
+        "description": result.description,
+        "benches": {
+            row["bench"]: {
+                "unit": row["unit"],
+                "legacy_rate": round(row["legacy_rate"], 4),
+                "fused_rate": round(row["fused_rate"], 4),
+                "speedup": round(row["speedup"], 2),
+            }
+            for row in result.rows
+        },
+    }
+
+
+def write_baseline(path: str = "BENCH_kernels.json", result: Optional[ExperimentResult] = None) -> Dict:
+    """Run (if needed) and write the committed benchmark baseline."""
+    if result is None:
+        result = run()
+    data = payload(result)
+    with open(path, "w") as handle:
+        handle.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+if __name__ == "__main__":
+    import sys
+
+    outcome = run()
+    print_result(outcome)
+    if "--write" in sys.argv:
+        write_baseline(result=outcome)
+        print("wrote BENCH_kernels.json")

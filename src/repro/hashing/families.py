@@ -32,11 +32,15 @@ from typing import List
 import numpy as np
 
 from repro.hashing.prng import SplitMix64
+from repro.kernels.mersenne import kwise_raw_batch, reduce_keys_mersenne
 
 #: The Mersenne prime 2**61 - 1, the field modulus for all families here.
 MERSENNE_PRIME_61 = (1 << 61) - 1
 
 MASK64 = (1 << 64) - 1
+
+#: Shared pre-boxed shift constant for the multiply-shift batch path.
+_U64_32 = np.uint64(32)
 
 
 def _mod_mersenne(value: int) -> int:
@@ -80,8 +84,10 @@ class KWiseHash:
         while coeffs[-1] == 0 and k > 1:
             coeffs[-1] = rng.next_u64() % MERSENNE_PRIME_61
         self._coeffs: List[int] = coeffs
-        # Object-dtype array lets NumPy broadcast Python big ints exactly.
-        self._coeffs_arr = np.array(coeffs[::-1], dtype=object)
+        # Highest-degree-first uint64 coefficients for the batch kernel,
+        # plus the pre-boxed width (hot-path: no per-call scalar boxing).
+        self._coeffs_u64 = np.array(coeffs[::-1], dtype=np.uint64)
+        self._width_u64 = np.uint64(width)
 
     def raw(self, key: int) -> int:
         """Return the field element for ``key`` (before range reduction)."""
@@ -94,18 +100,22 @@ class KWiseHash:
         """Hash ``key`` into ``[0, width)``."""
         return self.raw(key) % self.width
 
+    def raw_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`raw`: ``uint64`` field elements per key.
+
+        Pure ``uint64`` arithmetic (32-bit split multiplies plus
+        Mersenne shift-add folding -- see
+        :mod:`repro.kernels.mersenne`); bit-exact with the scalar path.
+        """
+        return kwise_raw_batch(reduce_keys_mersenne(keys), self._coeffs_u64)
+
     def batch(self, keys: "np.ndarray") -> "np.ndarray":
         """Vectorised hashing of an array of integer keys.
 
         Accepts any integer array; returns an ``int64`` array of bucket
-        indices in ``[0, width)``.  Exact big-integer arithmetic is used
-        (object dtype) so results match :meth:`__call__` bit-for-bit.
+        indices in ``[0, width)`` matching :meth:`__call__` bit-for-bit.
         """
-        ks = np.asarray(keys, dtype=object) % MERSENNE_PRIME_61
-        acc = np.zeros(ks.shape, dtype=object)
-        for coeff in self._coeffs_arr:
-            acc = (acc * ks + coeff) % MERSENNE_PRIME_61
-        return (acc % self.width).astype(np.int64)
+        return (self.raw_batch(keys) % self._width_u64).astype(np.int64)
 
 
 class PairwiseHash(KWiseHash):
@@ -206,6 +216,12 @@ class MultiplyShiftHash:
         rng = SplitMix64(seed)
         self._a = rng.next_nonzero_u64() | 1  # multiplier must be odd
         self._b = rng.next_u64()
+        # Pre-boxed NumPy constants: boxing Python ints into uint64
+        # scalars per batch call used to dominate this hot path.  Array
+        # arithmetic wraps modulo 2**64 silently, so no errstate needed.
+        self._a_u64 = np.uint64(self._a)
+        self._b_u64 = np.uint64(self._b)
+        self._width_u64 = np.uint64(width)
 
     def __call__(self, key: int) -> int:
         if self.width == 1:
@@ -217,11 +233,10 @@ class MultiplyShiftHash:
         """Vectorised hashing; returns int64 bucket indices."""
         if self.width == 1:
             return np.zeros(np.asarray(keys).shape, dtype=np.int64)
-        ks = np.asarray(keys).astype(np.uint64)
-        with np.errstate(over="ignore"):
-            mixed = ks * np.uint64(self._a) + np.uint64(self._b)
-        top = mixed >> np.uint64(32)
-        return ((top * np.uint64(self.width)) >> np.uint64(32)).astype(np.int64)
+        ks = np.asarray(keys).astype(np.uint64, copy=False)
+        mixed = ks * self._a_u64 + self._b_u64
+        top = mixed >> _U64_32
+        return ((top * self._width_u64) >> _U64_32).astype(np.int64)
 
 
 class MultiplyShiftSign:

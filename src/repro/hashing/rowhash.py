@@ -20,6 +20,9 @@ import numpy as np
 
 from repro.hashing.xxhash import xxhash32_batch, xxhash32_u64
 
+_U64_32 = np.uint64(32)
+_U32_ONE = np.uint32(1)
+
 
 class XXHashRowHash:
     """Bucket hash ``[0, 2**64) -> [0, width)`` via seeded xxhash32.
@@ -35,13 +38,16 @@ class XXHashRowHash:
             raise ValueError("width must fit in 32 bits, got %d" % width)
         self.width = width
         self.seed = seed & 0xFFFFFFFF
+        # Pre-boxed constants: the batch path runs once per row per
+        # batch, so per-call np.uint64(...) boxing is pure overhead.
+        self._width_u64 = np.uint64(width)
 
     def __call__(self, key: int) -> int:
         return (xxhash32_u64(key, self.seed) * self.width) >> 32
 
     def batch(self, keys: "np.ndarray") -> "np.ndarray":
         hashes = xxhash32_batch(np.asarray(keys), self.seed).astype(np.uint64)
-        return ((hashes * np.uint64(self.width)) >> np.uint64(32)).astype(np.int64)
+        return ((hashes * self._width_u64) >> _U64_32).astype(np.int64)
 
 
 class XXHashRowSign:
@@ -60,5 +66,5 @@ class XXHashRowSign:
         keys = np.asarray(keys)
         if self.constant_one:
             return np.ones(keys.shape, dtype=np.int64)
-        bits = xxhash32_batch(keys, self.seed) & np.uint32(1)
+        bits = xxhash32_batch(keys, self.seed) & _U32_ONE
         return (bits.astype(np.int64) * 2) - 1

@@ -25,6 +25,21 @@ _PRIME32_4 = 0x27D4EB2F
 _PRIME32_5 = 0x165667B1
 _MASK32 = 0xFFFFFFFF
 
+# Pre-boxed NumPy constants for the batch path: boxing these per call
+# (and re-entering np.errstate) used to cost more than the arithmetic.
+# Array ops wrap modulo 2**32 silently, so no errstate is needed.
+_U32_P1 = np.uint32(_PRIME32_1)
+_U32_P2 = np.uint32(_PRIME32_2)
+_U32_P3 = np.uint32(_PRIME32_3)
+_U32_P4 = np.uint32(_PRIME32_4)
+_U64_MASK32 = np.uint64(_MASK32)
+_U64_32 = np.uint64(32)
+_U32_13 = np.uint32(13)
+_U32_15 = np.uint32(15)
+_U32_16 = np.uint32(16)
+_U32_17 = np.uint32(17)
+_U32_ROT17 = np.uint32(32 - 17)
+
 
 def _rotl32(value: int, count: int) -> int:
     value &= _MASK32
@@ -92,33 +107,44 @@ def xxhash32_u64(key: int, seed: int = 0) -> int:
     return xxhash32(struct.pack("<Q", key & 0xFFFFFFFFFFFFFFFF), seed)
 
 
-def xxhash32_batch(keys: "np.ndarray", seed: int = 0) -> "np.ndarray":
+def _rotl17_batch(arr: "np.ndarray") -> "np.ndarray":
+    return (arr << _U32_17) | (arr >> _U32_ROT17)
+
+
+def xxhash32_batch(keys: "np.ndarray", seed=0) -> "np.ndarray":
     """Vectorised xxHash32 over an array of 64-bit integer keys.
 
     Equivalent to ``[xxhash32_u64(k, seed) for k in keys]`` but computed
     with NumPy ``uint32`` lane arithmetic -- the Python counterpart of the
     paper's AVX-parallel hashing (Idea D).  Returns a ``uint32`` array.
+
+    ``seed`` may be a Python int or a ``uint64`` array that broadcasts
+    against ``keys`` -- e.g. shape ``(depth, 1)`` row seeds against
+    ``(n,)`` keys hashes the batch for *every* sketch row in one fused
+    call (the :class:`repro.kernels.SketchKernel` fast path).
     """
-    ks = np.asarray(keys).astype(np.uint64)
-    lo = (ks & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-    hi = (ks >> np.uint64(32)).astype(np.uint32)
+    ks = np.asarray(keys).astype(np.uint64, copy=False)
+    lo = (ks & _U64_MASK32).astype(np.uint32)
+    hi = (ks >> _U64_32).astype(np.uint32)
 
-    def rotl(arr: "np.ndarray", count: int) -> "np.ndarray":
-        return (arr << np.uint32(count)) | (arr >> np.uint32(32 - count))
-
-    with np.errstate(over="ignore"):
-        acc = np.full(ks.shape, (seed + _PRIME32_5) & _MASK32, dtype=np.uint32)
-        acc = acc + np.uint32(8)  # length of an 8-byte key
-        # First 4-byte lane (low word).
-        acc = acc + lo * np.uint32(_PRIME32_3)
-        acc = rotl(acc, 17) * np.uint32(_PRIME32_4)
-        # Second 4-byte lane (high word).
-        acc = acc + hi * np.uint32(_PRIME32_3)
-        acc = rotl(acc, 17) * np.uint32(_PRIME32_4)
-        # Avalanche.
-        acc = acc ^ (acc >> np.uint32(15))
-        acc = acc * np.uint32(_PRIME32_2)
-        acc = acc ^ (acc >> np.uint32(13))
-        acc = acc * np.uint32(_PRIME32_3)
-        acc = acc ^ (acc >> np.uint32(16))
+    if isinstance(seed, np.ndarray):
+        # (seed + PRIME5 + key length) mod 2**32, per broadcast element.
+        acc0 = (
+            (seed.astype(np.uint64, copy=False) + np.uint64(_PRIME32_5 + 8))
+            & _U64_MASK32
+        ).astype(np.uint32)
+    else:
+        acc0 = np.uint32((seed + _PRIME32_5 + 8) & _MASK32)
+    # First 4-byte lane (low word).
+    acc = acc0 + lo * _U32_P3
+    acc = _rotl17_batch(acc) * _U32_P4
+    # Second 4-byte lane (high word).
+    acc = acc + hi * _U32_P3
+    acc = _rotl17_batch(acc) * _U32_P4
+    # Avalanche.
+    acc = acc ^ (acc >> _U32_15)
+    acc = acc * _U32_P2
+    acc = acc ^ (acc >> _U32_13)
+    acc = acc * _U32_P3
+    acc = acc ^ (acc >> _U32_16)
     return acc

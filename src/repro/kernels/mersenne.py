@@ -1,0 +1,143 @@
+"""Native ``uint64`` Mersenne-61 polynomial evaluation.
+
+The k-wise independent families in :mod:`repro.hashing.families` evaluate
+a degree-(k-1) polynomial over the field ``GF(2**61 - 1)``.  The scalar
+path reduces with :func:`repro.hashing.families._mod_mersenne`'s
+shift-add folding; the original batch path used object-dtype NumPy
+arrays of Python big ints, which runs at interpreter speed (one PyLong
+multiply per element per coefficient).
+
+This module is the vectorised replacement: the 122-bit product of two
+field elements is computed from 32-bit halves so every intermediate fits
+in ``uint64``, then reduced with the congruences
+
+    2**64 = 8   (mod 2**61 - 1)
+    2**61 = 1   (mod 2**61 - 1)
+
+For ``a, b < P = 2**61 - 1`` write ``a = a_hi * 2**32 + a_lo`` (and the
+same for ``b``), so ``a*b = h*2**64 + m*2**32 + l`` with
+
+    l = a_lo * b_lo           < 2**64
+    m = a_hi * b_lo + a_lo * b_hi   < 2**62   (a_hi < 2**29)
+    h = a_hi * b_hi           < 2**58
+
+Splitting ``m = m_hi * 2**29 + m_lo`` turns ``m * 2**32`` into
+``m_hi * 2**61 + m_lo * 2**32 = m_hi + (m_lo << 32) (mod P)``, and every
+term of the reduced sum is below ``2**61``, so the Horner accumulator
+never overflows 64 bits.  The final double-fold plus conditional
+subtract is literally ``_mod_mersenne``, which makes the kernel
+bit-exact with the scalar path (asserted in ``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The Mersenne prime 2**61 - 1 as a NumPy scalar (module-level so the
+#: hot loops never re-box Python ints).
+P61 = np.uint64((1 << 61) - 1)
+
+_U32_MASK = np.uint64(0xFFFFFFFF)
+_U29_MASK = np.uint64((1 << 29) - 1)
+_SHIFT_3 = np.uint64(3)
+_SHIFT_29 = np.uint64(29)
+_SHIFT_32 = np.uint64(32)
+_SHIFT_61 = np.uint64(61)
+
+MERSENNE_PRIME_61 = int(P61)
+
+
+def fold_mersenne(values: "np.ndarray") -> "np.ndarray":
+    """Reduce a ``uint64`` array modulo ``2**61 - 1`` (canonical residue).
+
+    Mirrors ``_mod_mersenne``: two shift-add folds then one conditional
+    subtract.  Exact for any ``uint64`` input.
+    """
+    values = (values & P61) + (values >> _SHIFT_61)
+    values = (values & P61) + (values >> _SHIFT_61)
+    return np.where(values >= P61, values - P61, values)
+
+
+def mulmod_mersenne(a: "np.ndarray", b: "np.ndarray") -> "np.ndarray":
+    """``(a * b) mod (2**61 - 1)`` for arrays of field elements ``< P``.
+
+    Returns the *unreduced* congruent sum (``< 5 * 2**61``), leaving
+    headroom to add one more field element before folding -- exactly what
+    a Horner step needs.  Callers must finish with :func:`fold_mersenne`.
+    """
+    a_lo = a & _U32_MASK
+    a_hi = a >> _SHIFT_32
+    b_lo = b & _U32_MASK
+    b_hi = b >> _SHIFT_32
+    low = a_lo * b_lo
+    mid = a_hi * b_lo + a_lo * b_hi
+    high = a_hi * b_hi
+    return (
+        (low & P61)
+        + (low >> _SHIFT_61)
+        + ((mid & _U29_MASK) << _SHIFT_32)
+        + (mid >> _SHIFT_29)
+        + (high << _SHIFT_3)
+    )
+
+
+def kwise_raw_batch(keys: "np.ndarray", coeffs: "np.ndarray") -> "np.ndarray":
+    """Horner-evaluate the k-wise polynomial over a key batch.
+
+    Parameters
+    ----------
+    keys:
+        ``uint64`` array of field elements (already reduced ``mod P``).
+    coeffs:
+        ``uint64`` array of the ``k`` coefficients in *highest-degree
+        first* order (i.e. ``KWiseHash._coeffs`` reversed), each ``< P``.
+
+    Returns the canonical residues -- identical to ``KWiseHash.raw`` per
+    element.  Pure ``uint64`` arithmetic: no object-dtype allocation.
+
+    The loop keeps the accumulator only *partially* reduced (one fold,
+    ``< 2**61 + 8``) and defers the canonical double-fold to the end;
+    with ``a < 2**61 + 8`` every term of the split-multiply sum stays
+    below ``2**63``, so nothing overflows and the final residue is
+    unchanged.  In-place ops keep the per-coefficient cost at ~15 array
+    passes instead of mulmod/fold's ~20.
+    """
+    # Horner starts from the leading coefficient -- the first "multiply
+    # zero accumulator" round of the scalar loop is a no-op, so skip it.
+    acc = np.full(keys.shape, coeffs[0], dtype=np.uint64)
+    if len(coeffs) > 1:
+        b_lo = keys & _U32_MASK
+        b_hi = keys >> _SHIFT_32
+        for coeff in coeffs[1:]:
+            a_lo = acc & _U32_MASK
+            a_hi = acc >> _SHIFT_32
+            low = a_lo * b_lo
+            mid = a_hi * b_lo
+            mid += a_lo * b_hi
+            a_hi *= b_hi  # now the `high` partial product
+            acc = low & P61
+            acc += low >> _SHIFT_61
+            acc += (mid & _U29_MASK) << _SHIFT_32
+            acc += mid >> _SHIFT_29
+            acc += a_hi << _SHIFT_3
+            acc += coeff
+            # Single fold: enough headroom for the next iteration.
+            acc = (acc & P61) + (acc >> _SHIFT_61)
+    return fold_mersenne(acc)
+
+
+def reduce_keys_mersenne(keys: "np.ndarray") -> "np.ndarray":
+    """Map an arbitrary integer key array to ``uint64`` residues ``mod P``.
+
+    Matches the scalar path's Python ``key % P`` semantics for signed,
+    unsigned, and object (big-int) inputs alike, so negative keys hash
+    identically to ``KWiseHash.__call__``.
+    """
+    ks = np.asarray(keys)
+    if ks.dtype == np.uint64:
+        # Shift-add folding is exact for any value < 2**122, so it
+        # replaces the (slow) 64-bit hardware division entirely.
+        return fold_mersenne(ks)
+    # Signed/object dtypes: Python-style mod keeps negatives non-negative
+    # and big ints exact; the residue then always fits in uint64.
+    return (ks % MERSENNE_PRIME_61).astype(np.uint64)

@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from repro.hashing.families import MultiplyShiftHash, MultiplyShiftSign, derive_seeds
+from repro.kernels import SketchKernel
 from repro.metrics.opcount import NULL_OPS
 
 
@@ -118,6 +119,19 @@ class CanonicalSketch(Sketch):
                 % (hash_family,)
             )
         self.counters = np.zeros((depth, width), dtype=np.float64)
+        self._kernel: Optional[SketchKernel] = None
+
+    @property
+    def kernel(self) -> SketchKernel:
+        """The fused batch update/query kernel bound to this sketch.
+
+        Built lazily (the row hashes are immutable after construction)
+        and shared by every batch entry point -- including NitroSketch's
+        sampled-slot path, which drives it directly.
+        """
+        if self._kernel is None:
+            self._kernel = SketchKernel(self)
+        return self._kernel
 
     # -- canonical row-level access (what NitroSketch drives) ------------
 
@@ -203,27 +217,63 @@ class CanonicalSketch(Sketch):
             [self.row_estimate(row, key) for row in range(self.depth)]
         )
 
-    def update_batch(self, keys: "np.ndarray", weights: Optional["np.ndarray"] = None) -> None:
-        """Vectorised vanilla update of a key batch (Idea-D analogue).
+    def query_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorised point queries: ``float64`` estimates per key.
 
-        Uses per-row batch hashing and ``np.add.at`` scatter-adds; exactly
-        equivalent to calling :meth:`update` per key.
+        One fused row hash over the whole batch, one fancy-index gather
+        into a ``(depth, n)`` estimate matrix, then the sketch's own
+        vectorised row combiner -- element-for-element identical to
+        calling :meth:`query` per key, at a fraction of the cost (the
+        scalar loop pays ``depth`` Python-level hashes per key).  Billed
+        exactly like ``n`` scalar queries.
         """
         keys = np.asarray(keys)
-        if weights is None:
-            weights = np.ones(keys.shape, dtype=np.float64)
-        else:
-            weights = np.asarray(weights, dtype=np.float64)
-        self.ops.packet(len(keys))
-        for row in range(self.depth):
-            self.ops.hash(len(keys))
-            buckets = self.row_hashes[row].batch(keys)
-            if self.signed:
-                signs = self.row_signs[row].batch(keys)
-                np.add.at(self.counters[row], buckets, weights * signs)
-            else:
-                np.add.at(self.counters[row], buckets, weights)
-            self.ops.counter_update(len(keys))
+        if len(keys) == 0:
+            return np.zeros(0, dtype=np.float64)
+        self.ops.hash(self.depth * len(keys))
+        return self._combine_rows_batch(self.kernel.estimate_matrix(keys))
+
+    def _combine_rows_batch(self, estimates: "np.ndarray") -> "np.ndarray":
+        """Collapse a ``(depth, n)`` estimate matrix column-wise.
+
+        Generic fallback applies :meth:`combine_rows` per column;
+        concrete sketches override with a closed-form NumPy reduction
+        (min for Count-Min, lower median for Count Sketch / K-ary).
+        """
+        if self.depth == 1:
+            return estimates[0].astype(np.float64, copy=False)
+        return np.array(
+            [self.combine_rows(list(column)) for column in estimates.T],
+            dtype=np.float64,
+        )
+
+    def update_batch(
+        self,
+        keys: "np.ndarray",
+        weights: Optional["np.ndarray"] = None,
+        count_packets: bool = True,
+    ) -> None:
+        """Vectorised vanilla update of a key batch (Idea-D analogue).
+
+        Routes through the fused :class:`~repro.kernels.SketchKernel`:
+        one broadcast hash over every row, one flat-index scatter-add --
+        counter state is exactly equivalent to calling :meth:`update`
+        per key (bit-identical for integral increments).
+
+        ``count_packets=False`` skips the per-packet op tally for
+        callers (NitroSketch's exact phase, sampling wrappers) that have
+        already billed the batch as packets -- declared accounting
+        instead of the old ``ops.packet(-n)`` recount hack.
+        """
+        keys = np.asarray(keys)
+        count = len(keys)
+        if count == 0:
+            return
+        if count_packets:
+            self.ops.packet(count)
+        self.ops.hash(self.depth * count)
+        self.kernel.update(keys, weights)
+        self.ops.counter_update(self.depth * count)
 
     def note_batch_mass(self, mass: float) -> None:
         """Hook for subclasses that track total stream mass.

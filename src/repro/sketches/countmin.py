@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import List
 
+import numpy as np
+
 from repro.sketches.base import CanonicalSketch
 
 
@@ -27,6 +29,9 @@ class CountMinSketch(CanonicalSketch):
 
     def combine_rows(self, estimates: List[float]) -> float:
         return min(estimates)
+
+    def _combine_rows_batch(self, estimates: "np.ndarray") -> "np.ndarray":
+        return estimates.min(axis=0)
 
     @classmethod
     def from_error_bounds(cls, epsilon: float, delta: float, seed: int = 0) -> "CountMinSketch":

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import List
 
+import numpy as np
+
 from repro.sketches.base import CanonicalSketch
 
 
@@ -33,6 +35,11 @@ class CountSketch(CanonicalSketch):
     def combine_rows(self, estimates: List[float]) -> float:
         ordered = sorted(estimates)
         return ordered[(len(ordered) - 1) // 2]
+
+    def _combine_rows_batch(self, estimates: "np.ndarray") -> "np.ndarray":
+        # Lower median, matching combine_rows (np.median would average
+        # the middle pair for even depths).
+        return np.sort(estimates, axis=0)[(estimates.shape[0] - 1) // 2]
 
     def l2_estimate(self) -> float:
         """``sqrt`` of the AMS median-of-rows L2² estimator."""

@@ -40,9 +40,14 @@ class KArySketch(CanonicalSketch):
         super().row_update(row, key, increment)
         self.total += increment / self.depth
 
-    def update_batch(self, keys: "np.ndarray", weights: Optional["np.ndarray"] = None) -> None:
+    def update_batch(
+        self,
+        keys: "np.ndarray",
+        weights: Optional["np.ndarray"] = None,
+        count_packets: bool = True,
+    ) -> None:
         keys = np.asarray(keys)
-        super().update_batch(keys, weights)
+        super().update_batch(keys, weights, count_packets=count_packets)
         if weights is None:
             self.total += float(len(keys))
         else:
@@ -57,12 +62,31 @@ class KArySketch(CanonicalSketch):
         ordered = sorted(estimates)
         return ordered[(len(ordered) - 1) // 2]
 
+    def _combine_rows_batch(self, estimates: "np.ndarray") -> "np.ndarray":
+        return np.sort(estimates, axis=0)[(estimates.shape[0] - 1) // 2]
+
     def row_estimate(self, row: int, key: int) -> float:
         bucket = self.row_hashes[row](key)
         raw = self.counters[row, bucket]
         if self.width == 1:
             return raw
         return (raw - self.total / self.width) / (1.0 - 1.0 / self.width)
+
+    def query_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorised mean-corrected point queries.
+
+        Mirrors the scalar path exactly, including its op accounting:
+        K-ary's ``row_estimate`` reads counters without billing a hash
+        (the correction reuses the update-time hash values), so the
+        batch variant bills nothing either.
+        """
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return np.zeros(0, dtype=np.float64)
+        raw = self.kernel.estimate_matrix(keys)
+        if self.width > 1:
+            raw = (raw - self.total / self.width) / (1.0 - 1.0 / self.width)
+        return self._combine_rows_batch(raw)
 
     def difference(self, other: "KArySketch") -> "KArySketch":
         """Return the (self - other) sketch for change detection.

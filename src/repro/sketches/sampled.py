@@ -94,10 +94,9 @@ class UniformSampledSketch:
             batch_weights = np.full(len(sampled), scale)
         else:
             batch_weights = np.asarray(weights, dtype=np.float64)[mask] * scale
-        self.sketch.update_batch(sampled, batch_weights)
-        # The inner batch update counted the sampled packets again; undo so
-        # ops.packets reflects the offered stream exactly once.
-        self.ops.packet(-len(sampled))
+        # The batch is already billed as packets above; the inner update
+        # must not recount the sampled subset.
+        self.sketch.update_batch(sampled, batch_weights, count_packets=False)
 
     def query(self, key: int) -> float:
         estimate = self.sketch.query(key)

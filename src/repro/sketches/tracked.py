@@ -58,19 +58,24 @@ class TrackedSketch:
         # batch path only offers distinct keys, so bill the difference to
         # keep operation counts faithful to the per-packet workflow.
         self.sketch.ops.table_lookup(len(keys) - len(unique))
-        for key in unique.tolist():
-            self.topk.offer(int(key), self.sketch.query(int(key)))
+        estimates = self.sketch.query_batch(unique)
+        for key, estimate in zip(unique.tolist(), estimates.tolist()):
+            self.topk.offer(int(key), float(estimate))
 
     def query(self, key: int) -> float:
         return self.sketch.query(key)
 
     def heavy_hitters(self, threshold: float) -> List[Tuple[int, float]]:
         """Tracked flows with a fresh estimate above ``threshold``."""
+        tracked = list(self.topk.keys())
+        if not tracked:
+            return []
+        estimates = self.sketch.query_batch(np.asarray(tracked))
         hitters = [
-            (key, self.sketch.query(key))
-            for key in self.topk.keys()
+            (key, float(est))
+            for key, est in zip(tracked, estimates.tolist())
+            if est > threshold
         ]
-        hitters = [(key, est) for key, est in hitters if est > threshold]
         hitters.sort(key=lambda item: (-item[1], item[0]))
         return hitters
 

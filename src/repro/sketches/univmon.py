@@ -114,8 +114,9 @@ class HeavyHitterSketch:
         # Bill the per-packet top-keys probes the scalar workflow performs
         # (the batch path only offers each distinct key once).
         self.sketch.ops.table_lookup(len(keys) - len(unique))
-        for key in unique.tolist():
-            self.topk.offer(int(key), self.sketch.query(int(key)))
+        estimates = self.sketch.query_batch(unique)
+        for key, estimate in zip(unique.tolist(), estimates.tolist()):
+            self.topk.offer(int(key), float(estimate))
 
     def query(self, key: int) -> float:
         return self.sketch.query(key)
@@ -262,21 +263,26 @@ class UnivMon:
         for key in keys:
             self.update(key)
 
-    def update_batch(self, keys, weights=None, duration_seconds=None) -> None:
+    def update_batch(
+        self, keys, weights=None, duration_seconds=None, count_packets=True
+    ) -> None:
         """Vectorised ingest: per-level sampler masks + batched updates.
 
         Produces the same level-sketch counters as scalar ingest.  Each
         level's sampler bits are evaluated in batch; keys failing level
-        ``j`` never reach levels ``> j``.
+        ``j`` never reach levels ``> j``.  ``count_packets=False`` skips
+        the packet/mass bookkeeping for wrappers (NitroUnivMon's exact
+        phase) that have already accounted for the batch.
         """
         keys = np.asarray(keys)
         count = len(keys)
         if count == 0:
             return
-        self.ops.packet(count)
-        self.packets_seen += count
+        if count_packets:
+            self.ops.packet(count)
+            self.packets_seen += count
+            self.total += count if weights is None else float(np.sum(weights))
         self.ops.hash(count)  # one sampler hash per packet
-        self.total += count if weights is None else float(np.sum(weights))
         depths = self.sampled_depth_batch(keys)
         level_weights = None if weights is None else np.asarray(weights, dtype=np.float64)
         for level in range(self.levels):
