@@ -8,7 +8,9 @@ Re-runs :mod:`repro.experiments.kernelbench` and compares each bench's
 ``factor`` (default 0.7, i.e. a >30% regression) of its baseline rate
 fails the check, as does missing either of the kernel-layer speedup
 gates (kwise >= 5x over the object-dtype path, NitroSketch batch >= 2x
-end-to-end).  ``--update`` rewrites the baseline from this run instead.
+end-to-end) or the telemetry-overhead ceiling (a live Telemetry sink on
+the batch update path must cost <= 10% over NULL_TELEMETRY).
+``--update`` rewrites the baseline from this run instead.
 """
 
 from __future__ import annotations
@@ -34,6 +36,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--skip-telemetry",
+        action="store_true",
+        help="skip the telemetry-overhead gate",
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments import kernelbench
@@ -81,6 +88,22 @@ def main(argv=None) -> int:
         print("%-32s speedup %.2fx (gate %.1fx)  %s" % (name, speedup, floor, status))
         if speedup < floor:
             failures.append("%s: speedup %.2fx below gate %.1fx" % (name, speedup, floor))
+
+    if not args.skip_telemetry:
+        ceiling = kernelbench.TELEMETRY_OVERHEAD_CEILING
+        overhead = kernelbench.telemetry_overhead(
+            scale=args.scale, repeats=args.repeats
+        )
+        ratio = overhead["ratio"]
+        status = "ok" if ratio <= ceiling else "TOO EXPENSIVE"
+        print(
+            "%-32s live/null %.3fx (ceiling %.2fx)  %s"
+            % ("telemetry_update_batch", ratio, ceiling, status)
+        )
+        if ratio > ceiling:
+            failures.append(
+                "telemetry overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
+            )
 
     if failures:
         print("\nperformance check FAILED:")

@@ -7,7 +7,10 @@ Subcommands:
   heavy hitters / entropy / distinct flows;
 * ``simulate`` -- run the software-switch simulator over a trace and
   report throughput and CPU shares;
-* ``experiment`` -- regenerate a paper table/figure by name.
+* ``experiment`` -- regenerate a paper table/figure by name;
+* ``telemetry`` -- run an instrumented demo, dump/validate a metrics
+  snapshot (Prometheus text or JSON), export a JSONL event trace, or
+  serve everything over HTTP (see docs/OBSERVABILITY.md).
 
 Examples::
 
@@ -15,6 +18,8 @@ Examples::
     nitrosketch monitor trace.npz --sketch univmon --probability 0.01
     nitrosketch simulate trace.npz --platform ovs --mode separate
     nitrosketch experiment fig8 --scale 0.05
+    nitrosketch telemetry --demo --format prom
+    nitrosketch telemetry --demo --serve --port 9109
 """
 
 from __future__ import annotations
@@ -154,6 +159,63 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    from repro.telemetry import Telemetry, Tracer
+    from repro.telemetry.demo import run_demo, validate
+
+    if not args.demo and not args.serve:
+        print("telemetry: nothing to do (pass --demo and/or --serve)", file=sys.stderr)
+        return 2
+    if args.trace_capacity < 1:
+        print("telemetry: --trace-capacity must be >= 1", file=sys.stderr)
+        return 2
+
+    telemetry = Telemetry(tracer=Tracer(capacity=args.trace_capacity))
+    if args.demo:
+        summary = run_demo(telemetry, packets=args.packets, seed=args.seed)
+        print(
+            "demo: %(packets)d packets, converged=%(converged)s at packet "
+            "%(converged_at_packet)s, p=%(probability)s, %(epochs)d control epochs"
+            % summary,
+            file=sys.stderr,
+        )
+        problems = validate(telemetry)
+        if problems:
+            for problem in problems:
+                print("telemetry validation: %s" % problem, file=sys.stderr)
+            return 1
+        print("telemetry snapshot validated", file=sys.stderr)
+
+    body = (
+        telemetry.render_json() if args.format == "json" else telemetry.render_prometheus()
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(body)
+        print("wrote %s" % args.out, file=sys.stderr)
+    else:
+        print(body, end="")
+
+    if args.trace_out:
+        count = telemetry.tracer.write_jsonl(args.trace_out)
+        print("wrote %d events to %s" % (count, args.trace_out), file=sys.stderr)
+
+    if args.serve:
+        from repro.telemetry import TelemetryServer
+
+        server = TelemetryServer(telemetry, host=args.host, port=args.port)
+        print(
+            "serving /metrics /snapshot /trace on http://%s:%d (Ctrl-C to stop)"
+            % (args.host, server.port),
+            file=sys.stderr,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.stop()
+    return 0
+
+
 def cmd_experiment(args) -> int:
     module = importlib.import_module("repro.experiments.%s" % args.name)
     kwargs = {}
@@ -216,6 +278,33 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENT_NAMES)
     experiment.add_argument("--scale", type=float, default=None)
     experiment.set_defaults(func=cmd_experiment)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="instrumented demo run, snapshot dump, HTTP endpoint"
+    )
+    telemetry.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the instrumented demo pipeline and validate its snapshot",
+    )
+    telemetry.add_argument("--packets", type=int, default=100_000)
+    telemetry.add_argument("--seed", type=int, default=7)
+    telemetry.add_argument(
+        "--format", choices=("prom", "json"), default="prom", help="snapshot format"
+    )
+    telemetry.add_argument("--out", default=None, help="snapshot path (default stdout)")
+    telemetry.add_argument(
+        "--trace-out", default=None, help="write the JSONL event trace here"
+    )
+    telemetry.add_argument(
+        "--trace-capacity", type=int, default=4096, help="event ring-buffer size"
+    )
+    telemetry.add_argument(
+        "--serve", action="store_true", help="serve /metrics /snapshot /trace over HTTP"
+    )
+    telemetry.add_argument("--host", default="127.0.0.1")
+    telemetry.add_argument("--port", type=int, default=9109)
+    telemetry.set_defaults(func=cmd_telemetry)
 
     return parser
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.control.tasks import MeasurementTask, TaskReport
+from repro.telemetry import NULL_TELEMETRY
 from repro.traffic.traces import Trace
 
 
@@ -40,6 +41,15 @@ class ControlPlane:
         When True, exact per-epoch ground truth is computed from the
         trace and every report carries error/recall -- the evaluation
         mode.  Turn off for production-style runs.
+    keep_monitors:
+        How many recent per-epoch monitors to retain in ``monitors``.
+        Change detection subtracts the previous epoch's sketch, so the
+        default of 2 is all it needs; long production runs therefore no
+        longer accumulate one monitor per epoch.  Pass ``None`` to keep
+        every epoch (the old behaviour, for offline analysis).
+    telemetry:
+        Observability sink; defaults to the free
+        :data:`~repro.telemetry.NULL_TELEMETRY`.
     """
 
     def __init__(
@@ -47,11 +57,17 @@ class ControlPlane:
         monitor_factory: Callable[[int], object],
         tasks: Sequence[MeasurementTask],
         score: bool = True,
+        keep_monitors: Optional[int] = 2,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
+        if keep_monitors is not None and keep_monitors < 1:
+            raise ValueError("keep_monitors must be >= 1 or None")
         self.monitor_factory = monitor_factory
         self.tasks = list(tasks)
         self.score = score
-        #: Monitors kept per epoch (change detection needs the previous one).
+        self.keep_monitors = keep_monitors
+        self.telemetry = telemetry
+        #: The most recent per-epoch monitors (bounded by ``keep_monitors``).
         self.monitors: List[object] = []
 
     def run_epochs(
@@ -61,20 +77,38 @@ class ControlPlane:
         if epoch_packets < 1:
             raise ValueError("epoch_packets must be >= 1")
         reports: List[EpochReport] = []
+        telemetry = self.telemetry
         for epoch, start in enumerate(range(0, len(trace), epoch_packets)):
             stop = min(start + epoch_packets, len(trace))
             epoch_trace = trace.slice(start, stop)
-            monitor = self.monitor_factory(epoch)
-            self._ingest(monitor, epoch_trace)
-            self.monitors.append(monitor)
-            epoch_report = EpochReport(epoch=epoch, packets=len(epoch_trace))
-            truth = epoch_trace.counts() if self.score else None
-            for task in self.tasks:
-                report = task.evaluate(monitor, len(epoch_trace))
-                if truth is not None:
-                    report = task.score(report, truth)
-                epoch_report.reports[task.name] = report
-            reports.append(epoch_report)
+            with telemetry.span("control_epoch_seconds"):
+                monitor = self.monitor_factory(epoch)
+                if hasattr(monitor, "telemetry"):
+                    monitor.telemetry = telemetry
+                self._ingest(monitor, epoch_trace)
+                self.monitors.append(monitor)
+                if self.keep_monitors is not None and len(self.monitors) > self.keep_monitors:
+                    del self.monitors[: -self.keep_monitors]
+                epoch_report = EpochReport(epoch=epoch, packets=len(epoch_trace))
+                truth = epoch_trace.counts() if self.score else None
+                for task in self.tasks:
+                    with telemetry.span("control_task_seconds", task=task.name):
+                        report = task.evaluate(monitor, len(epoch_trace))
+                        if truth is not None:
+                            report = task.score(report, truth)
+                    epoch_report.reports[task.name] = report
+                    telemetry.event(
+                        "control.task",
+                        task=task.name,
+                        epoch=epoch,
+                        detected=len(report.detected),
+                        estimate=report.estimate,
+                    )
+                reports.append(epoch_report)
+            telemetry.count("control_epochs_total")
+            telemetry.event(
+                "control.epoch", epoch=epoch, packets=len(epoch_trace)
+            )
         return reports
 
     @staticmethod

@@ -25,6 +25,7 @@ from repro.metrics.accuracy import (
     recall,
     relative_error,
 )
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -45,6 +46,9 @@ class MeasurementTask(abc.ABC):
     """A user-defined statistic computed each epoch."""
 
     name: str = "task"
+    #: Observability sink; a class-level no-op unless a caller (usually
+    #: the control plane or CLI) attaches a real ``Telemetry``.
+    telemetry = NULL_TELEMETRY
 
     @abc.abstractmethod
     def evaluate(self, monitor, epoch_packets: int) -> TaskReport:
@@ -68,6 +72,9 @@ class HeavyHitterTask(MeasurementTask):
     def evaluate(self, monitor, epoch_packets: int) -> TaskReport:
         threshold = self.threshold_fraction * epoch_packets
         detected = dict(monitor.heavy_hitters(threshold))
+        self.telemetry.gauge(
+            "control_task_detected_flows", len(detected), task=self.name
+        )
         return TaskReport(task=self.name, detected=detected)
 
     def score(self, report: TaskReport, truth_counts: Mapping[int, int]) -> TaskReport:
@@ -102,6 +109,9 @@ class ChangeDetectionTask(MeasurementTask):
             elif hasattr(monitor, "difference"):
                 diff = monitor.difference(self._previous_monitor)
                 report.detected = {}  # K-ary needs candidate keys; see KAryChangeDetector
+            self.telemetry.gauge(
+                "control_task_detected_flows", len(report.detected), task=self.name
+            )
         self._previous_monitor = monitor
         return report
 

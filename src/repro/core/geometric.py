@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.hashing.prng import XorShift64Star
 from repro.metrics.opcount import NULL_OPS
+from repro.telemetry import NULL_TELEMETRY
 
 
 class GeometricSampler:
@@ -31,6 +32,7 @@ class GeometricSampler:
 
     def __init__(self, probability: float, seed: int = 0) -> None:
         self.ops = NULL_OPS
+        self.telemetry = NULL_TELEMETRY
         self._rng = XorShift64Star(seed or 0x9E3779B97F4A7C15)
         self._log1m: float = 0.0
         self._probability: float = 1.0
@@ -47,6 +49,7 @@ class GeometricSampler:
             raise ValueError("probability must be in (0, 1], got %r" % (probability,))
         self._probability = probability
         self._log1m = math.log1p(-probability) if probability < 1.0 else 0.0
+        self.telemetry.gauge("nitro_sampling_probability", probability)
 
     def next_gap(self) -> int:
         """Slots until (and including) the next sampled slot.
@@ -58,6 +61,7 @@ class GeometricSampler:
         if self._probability >= 1.0:
             return 1
         self.ops.prng()
+        self.telemetry.count("nitro_geometric_draws_total")
         u = self._rng.next_float()
         # Guard the measure-zero u == 0 case (log would be -inf).
         while u <= 0.0:
@@ -71,6 +75,7 @@ class GeometricSampler:
         if self._probability >= 1.0:
             return np.ones(count, dtype=np.int64)
         self.ops.prng(count)
+        self.telemetry.count("nitro_geometric_draws_total", count)
         uniforms = np.array([self._rng.next_float() for _ in range(count)])
         uniforms = np.clip(uniforms, np.finfo(np.float64).tiny, None)
         return (np.log(uniforms) / self._log1m).astype(np.int64) + 1

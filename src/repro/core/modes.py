@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.core.config import NitroConfig
 from repro.sketches.base import CanonicalSketch
+from repro.telemetry import NULL_TELEMETRY
 
 
 class AlwaysLineRateController:
@@ -34,6 +35,7 @@ class AlwaysLineRateController:
     def __init__(self, config: NitroConfig) -> None:
         self.config = config
         self.current_probability = config.probability
+        self.telemetry = NULL_TELEMETRY
         self._epoch_start: Optional[float] = None
         self._epoch_packets = 0
         #: History of (timestamp, probability) adjustments, for inspection.
@@ -55,6 +57,13 @@ class AlwaysLineRateController:
         self._epoch_start = timestamp
         self._epoch_packets = 0
         new_probability = self.config.probability_for_rate(rate_mpps)
+        self.telemetry.count("nitro_epochs_total")
+        self.telemetry.event(
+            "nitro.epoch",
+            rate_mpps=rate_mpps,
+            probability=new_probability,
+            timestamp=timestamp,
+        )
         if new_probability != self.current_probability:
             self.current_probability = new_probability
             self.adjustments.append((timestamp, new_probability))
@@ -67,6 +76,10 @@ class AlwaysLineRateController:
             return None
         rate_mpps = packet_count / duration_seconds / 1e6
         new_probability = self.config.probability_for_rate(rate_mpps)
+        self.telemetry.count("nitro_epochs_total")
+        self.telemetry.event(
+            "nitro.epoch", rate_mpps=rate_mpps, probability=new_probability
+        )
         if new_probability != self.current_probability:
             self.current_probability = new_probability
             self.adjustments.append((None, new_probability))
@@ -87,6 +100,7 @@ class AlwaysCorrectController:
         self.config = config
         self.sketch = sketch
         self.threshold = config.convergence_threshold()
+        self.telemetry = NULL_TELEMETRY
         self.converged = False
         self.converged_at_packet: Optional[int] = None
         self._packets = 0
@@ -112,8 +126,18 @@ class AlwaysCorrectController:
         return self._evaluate()
 
     def _evaluate(self) -> bool:
-        if self.sketch.l2_squared_estimate() > self.threshold:
+        self.telemetry.count("nitro_convergence_checks_total")
+        l2_squared = self.sketch.l2_squared_estimate()
+        if l2_squared > self.threshold:
             self.converged = True
             self.converged_at_packet = self._packets
+            self.telemetry.count("nitro_convergence_total")
+            self.telemetry.event(
+                "nitro.convergence",
+                packets=self._packets,
+                threshold=self.threshold,
+                l2_squared=l2_squared,
+                probability=self.config.probability,
+            )
             return True
         return False

@@ -32,6 +32,7 @@ from repro.core.geometric import GeometricSampler, geometric_positions
 from repro.core.modes import AlwaysCorrectController, AlwaysLineRateController
 from repro.sketches.base import CanonicalSketch
 from repro.sketches.topk import TopK
+from repro.telemetry import NULL_TELEMETRY
 
 #: Cycles the pre-processing stage spends on an *unsampled* packet: one
 #: batch-pointer advance plus the slot-counter decrement (Figure 7b,
@@ -87,6 +88,7 @@ class NitroSketch:
         elif config.mode is NitroMode.ALWAYS_CORRECT:
             self.correctness = AlwaysCorrectController(config, sketch)
             self.sampler.set_probability(1.0)
+        self._telemetry = NULL_TELEMETRY
 
     # -- construction helpers -------------------------------------------------
 
@@ -137,6 +139,35 @@ class NitroSketch:
             self.topk.ops = sink
 
     @property
+    def telemetry(self):
+        """The telemetry sink (default :data:`NULL_TELEMETRY`, free)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, sink) -> None:
+        """Attach a sink and fan it out to the sampler and controllers."""
+        self._telemetry = sink
+        self.sampler.telemetry = sink
+        if self.linerate is not None:
+            self.linerate.telemetry = sink
+        if self.correctness is not None:
+            self.correctness.telemetry = sink
+        sink.gauge("nitro_sampling_probability", self.sampler.probability)
+
+    def _set_probability(self, probability: float, reason: str) -> None:
+        """Move ``p`` and record the transition (gauge + event + counter)."""
+        previous = self.sampler.probability
+        self.sampler.set_probability(probability)
+        self._telemetry.count("nitro_probability_changes_total", reason=reason)
+        self._telemetry.event(
+            "nitro.p_change",
+            reason=reason,
+            old=previous,
+            new=probability,
+            packets_seen=self.packets_seen,
+        )
+
+    @property
     def probability(self) -> float:
         """The sampling probability currently in force."""
         return self.sampler.probability
@@ -163,12 +194,14 @@ class NitroSketch:
         self.packets_seen += 1
         self.ops.packet()
         self.ops.fixed(PREPROCESS_CYCLES_PER_PACKET)
+        self._telemetry.count("nitro_packets_total", path="scalar")
         self._mode_hooks_scalar(timestamp)
 
         probability = self.sampler.probability
         if probability >= 1.0:
             # Exact phase (AlwaysCorrect warm-up, or p pinned to 1).
             self.packets_sampled += 1
+            self._telemetry.count("nitro_sampled_packets_total")
             for row in range(self.sketch.depth):
                 self.sketch.row_update(row, key, weight)
             if self.topk is not None:
@@ -194,6 +227,7 @@ class NitroSketch:
             self._pending -= depth
         if updated:
             self.packets_sampled += 1
+            self._telemetry.count("nitro_sampled_packets_total")
             if self.topk is not None:
                 self.topk.offer(key, self.sketch.query(key))
 
@@ -201,10 +235,10 @@ class NitroSketch:
         if self.linerate is not None:
             new_probability = self.linerate.on_packet(timestamp)
             if new_probability is not None:
-                self.sampler.set_probability(new_probability)
+                self._set_probability(new_probability, "linerate")
         elif self.correctness is not None and not self.correctness.converged:
             if self.correctness.on_packet():
-                self.sampler.set_probability(self.config.probability)
+                self._set_probability(self.config.probability, "converged")
 
     def update_many(self, keys: Iterable[int]) -> None:
         """Scalar-loop ingest of a key sequence."""
@@ -234,27 +268,30 @@ class NitroSketch:
         self.packets_seen += count
         self.ops.packet(count)
         self.ops.fixed(PREPROCESS_CYCLES_PER_PACKET * count)
+        self._telemetry.count("nitro_packets_total", count, path="batch")
 
         # Mode hooks at batch granularity.
         if self.linerate is not None and duration_seconds is not None:
             new_probability = self.linerate.on_batch(count, duration_seconds)
             if new_probability is not None:
-                self.sampler.set_probability(new_probability)
+                self._set_probability(new_probability, "linerate")
         if self.correctness is not None and not self.correctness.converged:
             # Warm-up: exact vectorised update, then check convergence.
             # The batch is already billed as packets above, so the inner
             # update is told not to recount it.
             self.packets_sampled += count
+            self._telemetry.count("nitro_sampled_packets_total", count)
             self.sketch.update_batch(keys, weights, count_packets=False)
             self._offer_topk(keys, count)
             if self.correctness.on_batch(count):
-                self.sampler.set_probability(self.config.probability)
+                self._set_probability(self.config.probability, "converged")
             return
 
         probability = self.sampler.probability
         depth = self.sketch.depth
         if probability >= 1.0:
             self.packets_sampled += count
+            self._telemetry.count("nitro_sampled_packets_total", count)
             self.sketch.update_batch(keys, weights, count_packets=False)
             self._offer_topk(keys, count)
             return
@@ -295,6 +332,8 @@ class NitroSketch:
 
         sampled_packets = int(np.unique(packet_idx).size)
         self.packets_sampled += sampled_packets
+        self._telemetry.count("nitro_sampled_packets_total", sampled_packets)
+        self._telemetry.count("nitro_geometric_draws_total", len(positions))
         if self.topk is not None:
             unique_keys = np.unique(sampled_keys)
             # Scalar ingest probes the heap once per *sampled packet*.
@@ -378,7 +417,8 @@ class NitroSketch:
         self.packets_sampled = 0
         if self.correctness is not None:
             self.correctness = AlwaysCorrectController(self.config, self.sketch)
-            self.sampler.set_probability(1.0)
+            self.correctness.telemetry = self._telemetry
+            self._set_probability(1.0, "reset")
         else:
-            self.sampler.set_probability(self.config.probability)
+            self._set_probability(self.config.probability, "reset")
         self._pending = self.sampler.next_gap() - 1

@@ -38,6 +38,10 @@ DEPTH, WIDTH = 5, 102400
 KWISE_SPEEDUP_FLOOR = 5.0
 NITRO_SPEEDUP_FLOOR = 2.0
 
+#: Enabling a real Telemetry sink on the batch update path may cost at
+#: most this factor versus the default NULL_TELEMETRY no-op sink.
+TELEMETRY_OVERHEAD_CEILING = 1.10
+
 
 # -- seed (pre-kernel) reference implementations ---------------------------
 
@@ -249,6 +253,51 @@ def run(scale: float = 1.0, seed: int = 0, repeats: int = 3) -> ExperimentResult
         )
     )
     return result
+
+
+def telemetry_overhead(
+    scale: float = 1.0, seed: int = 0, repeats: int = 3, chunk: int = 4096
+) -> Dict[str, float]:
+    """Cost of a live Telemetry sink on ``NitroSketch.update_batch``.
+
+    Feeds the same CAIDA-like trace in ``chunk``-sized batches (so the
+    per-batch instrumentation cost is actually exercised, not amortised
+    into one giant call) twice: once with the default
+    :data:`~repro.telemetry.NULL_TELEMETRY` sink and once with a real
+    :class:`~repro.telemetry.Telemetry` attached.  Returns both times
+    and their ratio, which ``scripts/check_perf.py`` gates at
+    :data:`TELEMETRY_OVERHEAD_CEILING`.
+    """
+    from repro.telemetry import Telemetry
+
+    n = max(10_000, int(200_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    chunks = [keys[start : start + chunk] for start in range(0, len(keys), chunk)]
+
+    def build():
+        return NitroSketch(
+            CountSketch(DEPTH, WIDTH, seed=seed + 51), probability=0.01, top_k=100
+        )
+
+    def ingest(nitro):
+        def run_once():
+            for piece in chunks:
+                nitro.update_batch(piece)
+
+        return run_once
+
+    null_nitro = build()
+    live_nitro = build()
+    live_nitro.telemetry = Telemetry()
+    null_seconds = _best_time(ingest(null_nitro), repeats)
+    live_seconds = _best_time(ingest(live_nitro), repeats)
+    return {
+        "packets": float(n),
+        "null_seconds": null_seconds,
+        "live_seconds": live_seconds,
+        "ratio": live_seconds / null_seconds,
+    }
 
 
 def payload(result: ExperimentResult) -> Dict:

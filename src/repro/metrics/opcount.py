@@ -13,7 +13,7 @@ property of the implementations rather than an assumption.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict
 
 
@@ -69,28 +69,13 @@ class OpCounter:
         self.fixed_cycles += cycles
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.hashes = 0
-        self.counter_updates = 0
-        self.heap_ops = 0
-        self.prng_draws = 0
-        self.memcpys = 0
-        self.table_lookups = 0
-        self.packets = 0
-        self.fixed_cycles = 0.0
+        """Zero all counters (each field back to its declared default)."""
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
 
     def as_dict(self) -> Dict[str, int]:
-        """Return the counts as a plain dictionary."""
-        return {
-            "hashes": self.hashes,
-            "counter_updates": self.counter_updates,
-            "heap_ops": self.heap_ops,
-            "prng_draws": self.prng_draws,
-            "memcpys": self.memcpys,
-            "table_lookups": self.table_lookups,
-            "packets": self.packets,
-            "fixed_cycles": self.fixed_cycles,
-        }
+        """Return the counts as a plain dictionary (field order)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
     def per_packet(self) -> Dict[str, float]:
         """Return per-packet averages (the paper's ``d1·H + d2·C + P`` view)."""
@@ -102,15 +87,13 @@ class OpCounter:
         }
 
     def merge(self, other: "OpCounter") -> None:
-        """Accumulate another counter's totals into this one."""
-        self.hashes += other.hashes
-        self.counter_updates += other.counter_updates
-        self.heap_ops += other.heap_ops
-        self.prng_draws += other.prng_draws
-        self.memcpys += other.memcpys
-        self.table_lookups += other.table_lookups
-        self.packets += other.packets
-        self.fixed_cycles += other.fixed_cycles
+        """Accumulate another counter's totals into this one.
+
+        Iterates :func:`dataclasses.fields` so a newly added category can
+        never silently drift out of ``merge``/``reset``/``as_dict``.
+        """
+        for spec in fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
 
 
 class NullOps:

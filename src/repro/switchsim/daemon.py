@@ -25,7 +25,22 @@ import inspect
 from typing import Optional
 
 from repro.metrics.opcount import OpCounter
+from repro.telemetry import NULL_TELEMETRY
 from repro.traffic.replay import Batch
+
+
+def _accepts_kwarg(callable_obj, name: str) -> bool:
+    """True if ``callable_obj`` can be passed keyword argument ``name``."""
+    try:
+        parameters = inspect.signature(callable_obj).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    if name in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
 
 
 class IntegrationMode(enum.Enum):
@@ -56,6 +71,7 @@ class MeasurementDaemon:
         mode: IntegrationMode = IntegrationMode.ALL_IN_ONE,
         name: Optional[str] = None,
         use_batch: bool = True,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.monitor = monitor
         self.mode = mode
@@ -64,21 +80,37 @@ class MeasurementDaemon:
         self.ops = OpCounter()
         if hasattr(monitor, "ops"):
             monitor.ops = self.ops
+        self.telemetry = telemetry
+        if hasattr(monitor, "telemetry"):
+            monitor.telemetry = telemetry
         self.packets_offered = 0
-        try:
-            parameters = inspect.signature(monitor.update).parameters
-            self._update_takes_timestamp = "timestamp" in parameters
-        except (TypeError, ValueError):  # builtins / C callables
-            self._update_takes_timestamp = False
+        # Probe both call signatures once up front (as for ``update``'s
+        # timestamp) so ingest never wraps the monitor in a try/except
+        # that would also swallow TypeErrors raised *inside* it.
+        self._update_takes_timestamp = _accepts_kwarg(
+            getattr(monitor, "update", None), "timestamp"
+        )
+        self._batch_takes_duration = self.use_batch and _accepts_kwarg(
+            monitor.update_batch, "duration_seconds"
+        )
 
     def ingest(self, batch: Batch) -> None:
         """Feed one batch to the monitor."""
         self.packets_offered += len(batch)
+        telemetry = self.telemetry
+        telemetry.count("daemon_batches_total", daemon=self.name)
+        telemetry.count("daemon_packets_total", len(batch), daemon=self.name)
+        with telemetry.span("daemon_ingest_seconds", daemon=self.name):
+            self._ingest_inner(batch)
+        telemetry.record_ops(self.ops, component=self.name)
+
+    def _ingest_inner(self, batch: Batch) -> None:
         if self.use_batch:
-            duration = batch.duration_seconds
-            try:
-                self.monitor.update_batch(batch.keys, duration_seconds=duration)
-            except TypeError:
+            if self._batch_takes_duration:
+                self.monitor.update_batch(
+                    batch.keys, duration_seconds=batch.duration_seconds
+                )
+            else:
                 self.monitor.update_batch(batch.keys)
             return
         monitor_update = self.monitor.update

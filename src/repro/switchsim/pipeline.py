@@ -32,6 +32,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.metrics.opcount import OpCounter
+from repro.telemetry import NULL_TELEMETRY
 from repro.traffic.replay import Batch
 
 
@@ -40,6 +41,10 @@ class SwitchPipeline(abc.ABC):
 
     #: Human-readable platform name.
     name: str = "switch"
+    #: Observability sink (per-stage timing histograms, cache counters).
+    #: A class-level no-op by default so un-instrumented runs pay nothing;
+    #: assigning a real ``Telemetry`` on an instance lights it up.
+    telemetry = NULL_TELEMETRY
 
     @abc.abstractmethod
     def forward_batch(self, batch: Batch, ops: OpCounter) -> None:
@@ -65,7 +70,11 @@ class DPDKForwarder(SwitchPipeline):
     def forward_batch(self, batch: Batch, ops: OpCounter) -> None:
         count = len(batch)
         ops.packet(count)
-        ops.fixed(self.PER_PACKET_CYCLES * count)
+        self.telemetry.count("pipeline_batches_total", platform=self.name)
+        with self.telemetry.span(
+            "pipeline_stage_seconds", platform=self.name, stage="l2fwd"
+        ):
+            ops.fixed(self.PER_PACKET_CYCLES * count)
 
 
 # ---------------------------------------------------------------------------
@@ -167,29 +176,45 @@ class OVSDPDKPipeline(SwitchPipeline):
     def forward_batch(self, batch: Batch, ops: OpCounter) -> None:
         count = len(batch)
         ops.packet(count)
-        ops.fixed((self.PMD_CYCLES + self.MINIFLOW_CYCLES + self.ACTION_CYCLES) * count)
-        emc = self._emc
-        for key in batch.keys.tolist():
-            if self.emc_key_space is not None:
-                key = key % self.emc_key_space
-            ops.table_lookup()
-            if key in emc:
-                self.emc_hits += 1
-                emc.move_to_end(key)
-                continue
-            self.emc_misses += 1
-            action = self.classifier.lookup(key, ops)
-            if action is None:
-                # OpenFlow table consultation; install a megaflow entry
-                # under the coarse mask so subsequent flows match fast.
-                self.upcalls += 1
-                ops.fixed(self.UPCALL_CYCLES)
-                coarse_mask = next(iter(self.classifier.subtables))
-                self.classifier.install(key, coarse_mask, action=1)
-            ops.memcpy()  # EMC entry install
-            emc[key] = 1
-            if len(emc) > self.emc_entries:
-                emc.popitem(last=False)
+        telemetry = self.telemetry
+        telemetry.count("pipeline_batches_total", platform=self.name)
+        hits_before, misses_before, upcalls_before = (
+            self.emc_hits,
+            self.emc_misses,
+            self.upcalls,
+        )
+        with telemetry.span(
+            "pipeline_stage_seconds", platform=self.name, stage="datapath"
+        ):
+            ops.fixed(
+                (self.PMD_CYCLES + self.MINIFLOW_CYCLES + self.ACTION_CYCLES) * count
+            )
+            emc = self._emc
+            for key in batch.keys.tolist():
+                if self.emc_key_space is not None:
+                    key = key % self.emc_key_space
+                ops.table_lookup()
+                if key in emc:
+                    self.emc_hits += 1
+                    emc.move_to_end(key)
+                    continue
+                self.emc_misses += 1
+                action = self.classifier.lookup(key, ops)
+                if action is None:
+                    # OpenFlow table consultation; install a megaflow entry
+                    # under the coarse mask so subsequent flows match fast.
+                    self.upcalls += 1
+                    ops.fixed(self.UPCALL_CYCLES)
+                    coarse_mask = next(iter(self.classifier.subtables))
+                    self.classifier.install(key, coarse_mask, action=1)
+                ops.memcpy()  # EMC entry install
+                emc[key] = 1
+                if len(emc) > self.emc_entries:
+                    emc.popitem(last=False)
+        if telemetry.enabled:
+            telemetry.count("ovs_emc_hits_total", self.emc_hits - hits_before)
+            telemetry.count("ovs_emc_misses_total", self.emc_misses - misses_before)
+            telemetry.count("ovs_upcalls_total", self.upcalls - upcalls_before)
 
     def working_set_bytes(self) -> int:
         # EMC entries ~64 B (miniflow + netdev flow reference); megaflow
@@ -309,8 +334,13 @@ class VPPPipeline(SwitchPipeline):
 
     def forward_batch(self, batch: Batch, ops: OpCounter) -> None:
         ops.packet(len(batch))
+        telemetry = self.telemetry
+        telemetry.count("pipeline_batches_total", platform=self.name)
         for node in self.nodes:
-            node.process(batch, ops)
+            with telemetry.span(
+                "pipeline_stage_seconds", platform=self.name, stage=node.name
+            ):
+                node.process(batch, ops)
 
 
 # ---------------------------------------------------------------------------
@@ -385,8 +415,13 @@ class BESSPipeline(SwitchPipeline):
 
     def forward_batch(self, batch: Batch, ops: OpCounter) -> None:
         ops.packet(len(batch))
+        telemetry = self.telemetry
+        telemetry.count("pipeline_batches_total", platform=self.name)
         for module in self.modules:
-            module.process(batch, ops)
+            with telemetry.span(
+                "pipeline_stage_seconds", platform=self.name, stage=module.name
+            ):
+                module.process(batch, ops)
 
 
 class InMemoryPipeline(SwitchPipeline):

@@ -28,6 +28,7 @@ from repro.switchsim.costmodel import CostModel, CycleBreakdown
 from repro.switchsim.daemon import IntegrationMode, MeasurementDaemon
 from repro.switchsim.nic import NICModel, XL710_40G
 from repro.switchsim.pipeline import SwitchPipeline
+from repro.telemetry import NULL_TELEMETRY
 from repro.traffic.replay import Replayer
 from repro.traffic.traces import Trace
 
@@ -74,11 +75,21 @@ class SwitchSimulator:
         daemon: Optional[MeasurementDaemon] = None,
         cost_model: Optional[CostModel] = None,
         nic: NICModel = XL710_40G,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.pipeline = pipeline
         self.daemon = daemon
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.nic = nic
+        self.telemetry = telemetry
+        # Fan the sink out so pipeline stages and the daemon's monitor
+        # all record into the same registry/tracer.
+        if telemetry is not NULL_TELEMETRY:
+            pipeline.telemetry = telemetry
+            if daemon is not None:
+                daemon.telemetry = telemetry
+                if hasattr(daemon.monitor, "telemetry"):
+                    daemon.monitor.telemetry = telemetry
 
     def run(
         self,
@@ -137,6 +148,28 @@ class SwitchSimulator:
 
         switch_share = achieved_mpps * 1e6 * switch_thread_pp / clock_hz
         sketch_share = achieved_mpps * 1e6 * sketch_pp / clock_hz
+
+        telemetry = self.telemetry
+        run_labels = {"platform": self.pipeline.name, "daemon": daemon_name}
+        telemetry.gauge("simulator_capacity_mpps", capacity_mpps, **run_labels)
+        telemetry.gauge("simulator_achieved_mpps", achieved_mpps, **run_labels)
+        telemetry.gauge(
+            "simulator_cpu_share", min(switch_share, 1.0), component="switch", **run_labels
+        )
+        telemetry.gauge(
+            "simulator_cpu_share", min(sketch_share, 1.0), component="sketch", **run_labels
+        )
+        telemetry.record_ops(switch_ops, component=self.pipeline.name)
+        telemetry.event(
+            "simulate.run",
+            platform=self.pipeline.name,
+            daemon=daemon_name,
+            packets=len(trace),
+            offered_mpps=offered_mpps,
+            capacity_mpps=capacity_mpps,
+            achieved_mpps=achieved_mpps,
+            drop_fraction=drop_fraction,
+        )
 
         return SimulationResult(
             platform=self.pipeline.name,

@@ -1,0 +1,252 @@
+"""First-class observability for the NitroSketch stack.
+
+The paper's whole argument is operational -- a sampling-probability
+ladder that moves every 100 ms epoch, a convergence condition that
+crosses once, cycles that migrate between pipeline stages -- and this
+package makes those observable *while they happen* instead of only via
+post-hoc :class:`~repro.metrics.opcount.OpCounter` totals:
+
+* :mod:`repro.telemetry.registry` -- labeled counters, gauges and
+  log-bucketed histograms (:class:`MetricsRegistry`);
+* :mod:`repro.telemetry.tracer` -- a bounded ring buffer of structured
+  events with JSONL export (:class:`Tracer`);
+* :mod:`repro.telemetry.exposition` -- Prometheus text format, JSON
+  snapshots, and an optional stdlib HTTP endpoint.
+
+The :class:`Telemetry` facade bundles one registry and one tracer and is
+what instrumented components hold.  Mirroring the ``NullOps`` pattern of
+:mod:`repro.metrics.opcount`, the default sink everywhere is
+:data:`NULL_TELEMETRY` -- a stateless no-op whose calls cost one Python
+method dispatch, so accuracy-only paths pay (almost) nothing.  Attach a
+real :class:`Telemetry` to a component (``nitro.telemetry = tele``) to
+light it up.
+
+See ``docs/OBSERVABILITY.md`` for the metric and event catalogue.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.telemetry.registry import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.telemetry.tracer import TraceEvent, Tracer, parse_jsonl, read_jsonl
+from repro.telemetry.exposition import (
+    TelemetryServer,
+    render_json,
+    render_prometheus,
+    snapshot,
+    start_http_server,
+)
+
+#: Canonical help strings for the metrics this repository emits, so every
+#: creation site agrees on the ``# HELP`` text without repeating it.
+METRIC_HELP: Dict[str, str] = {
+    "nitro_sampling_probability": "Current NitroSketch per-slot sampling probability p.",
+    "nitro_probability_changes_total": "Sampling-probability transitions, by reason.",
+    "nitro_convergence_total": "AlwaysCorrect convergence-threshold crossings.",
+    "nitro_convergence_checks_total": "AlwaysCorrect convergence-test evaluations.",
+    "nitro_epochs_total": "AlwaysLineRate rate-measurement epoch rollovers.",
+    "nitro_packets_total": "Packets ingested by NitroSketch, by code path.",
+    "nitro_sampled_packets_total": "Packets that triggered at least one counter update.",
+    "nitro_geometric_draws_total": "Geometric(p) skip-counter draws.",
+    "nitro_geometric_gap_slots": "Distribution of geometric inter-sample gaps (slots).",
+    "pipeline_stage_seconds": "Wall-clock time per switch-pipeline stage per batch.",
+    "pipeline_batches_total": "Batches forwarded, by platform.",
+    "ovs_emc_hits_total": "OVS Exact Match Cache hits.",
+    "ovs_emc_misses_total": "OVS Exact Match Cache misses.",
+    "ovs_upcalls_total": "OVS OpenFlow slow-path consultations.",
+    "daemon_batches_total": "Batches ingested by the measurement daemon.",
+    "daemon_packets_total": "Packets offered to the measurement daemon.",
+    "daemon_ingest_seconds": "Wall-clock time per daemon batch ingest.",
+    "control_epochs_total": "Control-plane epochs evaluated.",
+    "control_epoch_seconds": "Wall-clock time per control-plane epoch.",
+    "control_task_seconds": "Wall-clock time per measurement-task evaluation.",
+    "control_task_detected_flows": "Flows detected by the last task evaluation.",
+    "simulator_capacity_mpps": "Simulated bottleneck-thread capacity.",
+    "simulator_achieved_mpps": "Simulated achieved forwarding rate.",
+    "simulator_cpu_share": "Simulated per-component CPU share at the achieved rate.",
+    "opcounter": "OpCounter tallies bridged from the operation-accounting layer.",
+}
+
+
+class _Span:
+    """Times a block and records it into a histogram on exit."""
+
+    __slots__ = ("_telemetry", "_name", "_labels", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str, labels: Dict[str, str]) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._labels = labels
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._telemetry.observe(
+            self._name, time.perf_counter() - self._start, **self._labels
+        )
+
+
+class Telemetry:
+    """One registry + one tracer: the sink instrumented components hold.
+
+    All methods are dynamic-name conveniences over the registry --
+    families are created on first use with canonical help text from
+    :data:`METRIC_HELP` and label names taken (sorted) from the call's
+    keyword arguments, so every call site for a metric must use the same
+    label keys.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    # -- metrics ------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment counter ``name`` (creating it on first use)."""
+        family = self.registry.counter(
+            name, METRIC_HELP.get(name, ""), tuple(sorted(labels))
+        )
+        (family.labels(**labels) if labels else family.labels()).inc(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set gauge ``name`` to ``value``."""
+        family = self.registry.gauge(
+            name, METRIC_HELP.get(name, ""), tuple(sorted(labels))
+        )
+        (family.labels(**labels) if labels else family.labels()).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+        **labels,
+    ) -> None:
+        """Record ``value`` into histogram ``name`` (buckets fixed at creation)."""
+        family = self.registry.histogram(
+            name, METRIC_HELP.get(name, ""), tuple(sorted(labels)), buckets
+        )
+        (family.labels(**labels) if labels else family.labels()).observe(value)
+
+    def span(self, name: str, **labels) -> _Span:
+        """Context manager timing a block into histogram ``name``."""
+        return _Span(self, name, labels)
+
+    # -- events -------------------------------------------------------------
+
+    def event(self, name: str, **fields) -> None:
+        """Record one structured event into the tracer ring."""
+        self.tracer.record(name, **fields)
+
+    # -- bridges ------------------------------------------------------------
+
+    def record_ops(self, ops, **labels) -> None:
+        """Surface an :class:`~repro.metrics.opcount.OpCounter`'s tallies.
+
+        Each category becomes one ``opcounter{category=...}`` gauge
+        sample (gauges, not counters, because ``OpCounter`` objects are
+        reset at will by their owners).  Extra labels -- typically
+        ``component`` -- distinguish sinks.
+        """
+        for category, value in ops.as_dict().items():
+            self.gauge("opcounter", value, category=category, **labels)
+
+    # -- exposition shortcuts ----------------------------------------------
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self.registry)
+
+    def render_json(self) -> str:
+        return render_json(self.registry, self.tracer)
+
+    def snapshot(self) -> Dict:
+        return snapshot(self.registry, self.tracer)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager (no clock reads)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """No-op sink with the :class:`Telemetry` recording interface.
+
+    The default ``telemetry`` attribute everywhere, mirroring
+    :class:`repro.metrics.opcount.NullOps`: accuracy-only paths pay one
+    no-op method call per hook and nothing else (no clock reads, no
+    allocation beyond the kwargs dict).
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        pass
+
+    def observe(self, name: str, value: float, buckets=None, **labels) -> None:
+        pass
+
+    def span(self, name: str, **labels) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def record_ops(self, ops, **labels) -> None:
+        pass
+
+
+#: Shared no-op sink; safe because :class:`NullTelemetry` is stateless.
+NULL_TELEMETRY = NullTelemetry()
+
+
+__all__ = [
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "METRIC_HELP",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetryServer",
+    "TraceEvent",
+    "Tracer",
+    "log_buckets",
+    "parse_jsonl",
+    "read_jsonl",
+    "render_json",
+    "render_prometheus",
+    "snapshot",
+    "start_http_server",
+]

@@ -1,0 +1,114 @@
+"""A self-contained instrumented run for smoke tests and the CLI.
+
+``run_demo`` drives the full stack the README's operational story is
+about -- an AlwaysCorrect NitroSketch (Count Sketch substrate) riding a
+VPP graph pipeline behind a measurement daemon, then a short control-
+plane epoch loop -- with one :class:`~repro.telemetry.Telemetry` sink
+attached everywhere.  ``validate`` then checks the snapshot contains
+every metric and event the run must have produced; the CI smoke job
+(``nitrosketch telemetry --demo``) fails if it does not.
+
+This module is imported lazily by the CLI so that importing
+:mod:`repro.telemetry` itself stays NumPy-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Metric families the demo run must populate (acceptance criteria).
+REQUIRED_METRICS = (
+    "nitro_sampling_probability",
+    "nitro_probability_changes_total",
+    "nitro_convergence_total",
+    "nitro_convergence_checks_total",
+    "nitro_packets_total",
+    "nitro_sampled_packets_total",
+    "pipeline_batches_total",
+    "pipeline_stage_seconds",
+    "daemon_batches_total",
+    "daemon_ingest_seconds",
+    "control_epochs_total",
+    "control_task_seconds",
+    "simulator_capacity_mpps",
+    "opcounter",
+)
+
+#: Event names the demo trace must contain.
+REQUIRED_EVENTS = (
+    "nitro.convergence",
+    "nitro.p_change",
+    "control.epoch",
+    "control.task",
+    "simulate.run",
+)
+
+
+def run_demo(telemetry, packets: int = 100_000, seed: int = 7) -> Dict[str, object]:
+    """Run the instrumented demo pipeline; returns a summary dict."""
+    from repro.control import ControlPlane, HeavyHitterTask
+    from repro.core import NitroSketch, nitro_countsketch
+    from repro.core.config import NitroConfig, NitroMode
+    from repro.sketches import CountSketch
+    from repro.switchsim import MeasurementDaemon, SwitchSimulator, VPPPipeline
+    from repro.traffic import caida_like
+
+    trace = caida_like(packets, n_flows=max(200, packets // 20), seed=seed)
+
+    # Data plane: AlwaysCorrect Nitro Count Sketch behind a VPP graph.
+    # epsilon is deliberately loose so the convergence threshold T is
+    # crossable within a smoke-test-sized trace.
+    config = NitroConfig(
+        probability=0.1,
+        epsilon=0.5,
+        mode=NitroMode.ALWAYS_CORRECT,
+        convergence_check_period=1000,
+        top_k=100,
+        seed=seed,
+    )
+    nitro = NitroSketch(CountSketch(5, 4096, seed=seed), config)
+    daemon = MeasurementDaemon(nitro, name="nitro-cs")
+    simulator = SwitchSimulator(VPPPipeline(), daemon, telemetry=telemetry)
+    result = simulator.run(trace)
+
+    # Control plane: a short epoch loop with a heavy-hitter task.
+    task = HeavyHitterTask(0.005)
+    task.telemetry = telemetry
+    plane = ControlPlane(
+        lambda epoch: nitro_countsketch(probability=0.1, top_k=100, seed=seed),
+        [task],
+        score=False,
+        telemetry=telemetry,
+    )
+    epochs = plane.run_epochs(trace, epoch_packets=max(packets // 4, 1))
+
+    return {
+        "packets": packets,
+        "converged": nitro.converged,
+        "converged_at_packet": (
+            nitro.correctness.converged_at_packet if nitro.correctness else None
+        ),
+        "probability": nitro.probability,
+        "achieved_mpps": result.achieved_mpps,
+        "epochs": len(epochs),
+    }
+
+
+def validate(telemetry) -> List[str]:
+    """Check the demo's snapshot is complete; returns problem strings."""
+    problems = []
+    for name in REQUIRED_METRICS:
+        if name not in telemetry.registry:
+            problems.append("missing metric family: %s" % name)
+    for name in REQUIRED_EVENTS:
+        if not telemetry.tracer.events(name):
+            problems.append("missing trace event: %s" % name)
+    convergences = telemetry.tracer.events("nitro.convergence")
+    if len(convergences) > 1:
+        problems.append(
+            "nitro.convergence fired %d times (expected once)" % len(convergences)
+        )
+    for event in convergences:
+        if "packets" not in event.fields:
+            problems.append("nitro.convergence event lacks a packet index")
+    return problems

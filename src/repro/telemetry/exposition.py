@@ -1,0 +1,203 @@
+"""Exposition: Prometheus text format, JSON snapshots, HTTP endpoint.
+
+Three ways out of the registry/tracer:
+
+* :func:`render_prometheus` -- the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample per line,
+  histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+  ``_count``.
+* :func:`snapshot` -- a JSON-able dict of every family, sample and the
+  tracer's ring state; :func:`render_json` serialises it.
+* :class:`TelemetryServer` / :func:`start_http_server` -- a stdlib
+  ``http.server`` endpoint run in a daemon thread, serving ``/metrics``
+  (Prometheus), ``/snapshot`` (JSON) and ``/trace`` (JSONL).  No
+  third-party dependency: the point is that any Prometheus scraper or
+  ``curl`` can watch a live run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample-value formatting (integers without the .0)."""
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (name, _escape_label_value(str(value)))
+        for name, value in merged.items()
+    )
+    return "{%s}" % body
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in the registry as Prometheus exposition text."""
+    lines = []
+    for family in registry:
+        lines.append("# HELP %s %s" % (family.name, family.help or family.name))
+        lines.append("# TYPE %s %s" % (family.name, family.kind))
+        for values, child in family.children():
+            labels = family.label_dict(values)
+            if family.kind == "histogram":
+                cumulative = child.cumulative_counts()
+                for bound, count in zip(family.buckets, cumulative):
+                    lines.append(
+                        "%s_bucket%s %s"
+                        % (
+                            family.name,
+                            _format_labels(labels, {"le": _format_value(bound)}),
+                            _format_value(count),
+                        )
+                    )
+                lines.append(
+                    "%s_bucket%s %s"
+                    % (family.name, _format_labels(labels, {"le": "+Inf"}), _format_value(cumulative[-1]))
+                )
+                lines.append(
+                    "%s_sum%s %s"
+                    % (family.name, _format_labels(labels), _format_value(child.sum))
+                )
+                lines.append(
+                    "%s_count%s %s"
+                    % (family.name, _format_labels(labels), _format_value(child.count))
+                )
+            else:
+                lines.append(
+                    "%s%s %s"
+                    % (family.name, _format_labels(labels), _format_value(child.value))
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> Dict:
+    """A JSON-able snapshot of every metric (and the tracer's state)."""
+    metrics = {}
+    for family in registry:
+        samples = []
+        for values, child in family.children():
+            labels = family.label_dict(values)
+            if family.kind == "histogram":
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": list(family.buckets),
+                        "counts": list(child.counts),
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        metrics[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "samples": samples,
+        }
+    payload = {"metrics": metrics}
+    if tracer is not None:
+        payload["trace"] = {
+            "capacity": tracer.capacity,
+            "buffered": len(tracer),
+            "recorded": tracer.recorded,
+            "dropped": tracer.dropped,
+            "events": [event.as_dict() for event in tracer.events()],
+        }
+    return payload
+
+
+def render_json(registry: MetricsRegistry, tracer: Optional[Tracer] = None, indent: int = 2) -> str:
+    return json.dumps(snapshot(registry, tracer), indent=indent, sort_keys=True) + "\n"
+
+
+class TelemetryServer:
+    """Serves a live telemetry object over HTTP from a daemon thread."""
+
+    def __init__(self, telemetry, host: str = "127.0.0.1", port: int = 9109) -> None:
+        self.telemetry = telemetry
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                if path in ("/", "/metrics"):
+                    body = render_prometheus(outer.telemetry.registry)
+                    self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+                elif path == "/snapshot":
+                    body = render_json(outer.telemetry.registry, outer.telemetry.tracer)
+                    self._reply(200, "application/json", body)
+                elif path == "/trace":
+                    body = outer.telemetry.tracer.to_jsonl()
+                    self._reply(200, "application/x-ndjson", body)
+                else:
+                    self._reply(404, "text/plain", "not found: %s\n" % path)
+
+            def _reply(self, status: int, content_type: str, body: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        return self._server.server_address[1]
+
+    def start(self) -> "TelemetryServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="telemetry-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's ``--serve`` loop)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def start_http_server(telemetry, host: str = "127.0.0.1", port: int = 9109) -> TelemetryServer:
+    """Start a daemon-thread HTTP endpoint for ``telemetry``."""
+    return TelemetryServer(telemetry, host=host, port=port).start()

@@ -1,0 +1,138 @@
+"""Structured event tracing with a bounded ring buffer.
+
+Metrics answer "how much"; the tracer answers "what happened, and in
+what order".  It records :class:`TraceEvent` objects -- a sequence
+number, a timestamp, a dotted event name and a flat field dict -- into a
+``collections.deque`` ring so a long-running daemon can never grow its
+trace without bound.  The events this repository emits are the ones the
+paper's operational story turns on:
+
+* ``nitro.p_change`` -- the sampling probability moved (either adaptive
+  mode, or a reset);
+* ``nitro.convergence`` -- AlwaysCorrect's ``median_i sum_y C[i,y]^2 > T``
+  test crossed, with the packet index where it happened;
+* ``nitro.epoch`` -- an AlwaysLineRate 100 ms rate-measurement epoch
+  rolled over;
+* ``control.epoch`` / ``control.task`` -- the control plane evaluated an
+  epoch / one measurement task;
+* ``simulate.run`` -- a switch-simulator run completed.
+
+Export is JSON Lines (one event per line, sorted keys) so traces diff
+cleanly and round-trip exactly -- :func:`read_jsonl` restores what
+:meth:`Tracer.to_jsonl` wrote.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One structured event."""
+
+    seq: int
+    time: float
+    name: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"seq": self.seq, "time": self.time, "name": self.name, "fields": self.fields}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        return cls(
+            seq=int(data["seq"]),
+            time=float(data["time"]),
+            name=str(data["name"]),
+            fields=dict(data.get("fields", {})),
+        )
+
+
+class Tracer:
+    """Bounded in-memory event recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; once full, the oldest events are evicted (the
+        ``dropped`` property tells how many were lost).
+    clock:
+        Timestamp source, injectable for deterministic golden-file
+        tests.  Defaults to wall-clock ``time.time``.
+    """
+
+    def __init__(self, capacity: int = 4096, clock: Callable[[], float] = time.time) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %d" % capacity)
+        self.capacity = capacity
+        self._clock = clock
+        self._ring: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, name: str, **fields) -> TraceEvent:
+        """Append one event to the ring and return it."""
+        event = TraceEvent(seq=self._recorded, time=self._clock(), name=name, fields=fields)
+        self._recorded += 1
+        self._ring.append(event)
+        return event
+
+    @property
+    def recorded(self) -> int:
+        """Events recorded since creation (including evicted ones)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self._recorded - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self, name: Optional[str] = None) -> List[TraceEvent]:
+        """Buffered events in order, optionally filtered by exact name."""
+        if name is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.name == name]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._recorded = 0
+
+    # -- JSONL round trip ---------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialise the buffered events, one JSON object per line."""
+        out = io.StringIO()
+        for event in self._ring:
+            out.write(json.dumps(event.as_dict(), sort_keys=True))
+            out.write("\n")
+        return out.getvalue()
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the buffer to ``path``; returns the number of events."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return len(self._ring)
+
+
+def parse_jsonl(text: str) -> List[TraceEvent]:
+    """Parse events from JSONL text (inverse of :meth:`Tracer.to_jsonl`)."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load a JSONL trace file written by :meth:`Tracer.write_jsonl`."""
+    with open(path) as handle:
+        return parse_jsonl(handle.read())
