@@ -10,7 +10,10 @@ sums them.
 This example shards a trace across three simulated cores, runs one
 NitroSketch per core, ships each core's state across the modelled
 control link, merges, and shows that the merged heavy hitters match a
-single monolithic monitor.
+single monolithic monitor.  A live shadow auditor rides the merged
+view -- exact ground truth for a uniform flow sample, checked against
+the Theorem 2 ``eps * L2`` bound -- and the run's metrics plus a
+``/health`` verdict are served over HTTP for the duration of the run.
 
 Run:  python examples/distributed_monitoring.py
 """
@@ -20,6 +23,9 @@ from repro.core import NitroConfig, NitroSketch
 from repro.metrics import heavy_hitter_truth, recall
 from repro.sketches import CountSketch
 from repro.switchsim import MultiCoreSimulator, OVSDPDKPipeline
+from repro.telemetry import Telemetry, TelemetryServer
+from repro.telemetry.audit import GuaranteeMonitor, ShadowAuditor
+from repro.telemetry.health import HealthEvaluator, default_rules
 from repro.traffic import caida_like
 
 CORES = 3
@@ -39,6 +45,16 @@ def main() -> None:
     counts = trace.counts()
     threshold = 0.0005 * len(trace)
     truth = heavy_hitter_truth(counts, 0.0005)
+
+    # --- observability: auditor + health endpoint ------------------------
+    telemetry = Telemetry()
+    auditor = ShadowAuditor(capacity=256, seed=SEED, telemetry=telemetry)
+    health = HealthEvaluator(telemetry, default_rules(error_slo=5.0))
+    server = TelemetryServer(telemetry, port=0, health=health).start()
+    print(
+        "telemetry: /metrics /snapshot /health on http://127.0.0.1:%d"
+        % server.port
+    )
 
     # --- shard across cores (RSS keeps flows core-local) ----------------
     sharder = MultiCoreSimulator(lambda core: OVSDPDKPipeline(), cores=CORES)
@@ -87,6 +103,26 @@ def main() -> None:
         "largest flow: truth=%d merged=%.0f monolithic=%.0f"
         % (counts[top_flow], merged.query(top_flow), monolithic.query(top_flow))
     )
+
+    # --- audit the merged view against the Theorem 2 bound ---------------
+    guard = GuaranteeMonitor(auditor, merged, epsilon=0.5)
+    guard.observe_batch(trace.keys)
+    check = guard.check()
+    verdict = health.evaluate()
+    print(
+        "audit: %d tracked flows, observed max error %.0f vs %s bound %.0f "
+        "(ratio %.3f), violations %d, health %s"
+        % (
+            auditor.tracked_flows,
+            check.observed_max_error,
+            check.guarantee,
+            check.bound,
+            check.ratio,
+            guard.violations,
+            verdict.status,
+        )
+    )
+    server.close()
 
 
 if __name__ == "__main__":

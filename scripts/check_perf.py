@@ -8,8 +8,10 @@ Re-runs :mod:`repro.experiments.kernelbench` and compares each bench's
 ``factor`` (default 0.7, i.e. a >30% regression) of its baseline rate
 fails the check, as does missing either of the kernel-layer speedup
 gates (kwise >= 5x over the object-dtype path, NitroSketch batch >= 2x
-end-to-end) or the telemetry-overhead ceiling (a live Telemetry sink on
-the batch update path must cost <= 10% over NULL_TELEMETRY).
+end-to-end), the telemetry-overhead ceiling (a live Telemetry sink on
+the batch update path must cost <= 10% over NULL_TELEMETRY), or the
+audit-overhead ceiling (a live shadow auditor riding the batch ingest
+path must cost <= 10% over an unaudited run).
 ``--update`` rewrites the baseline from this run instead.
 """
 
@@ -40,6 +42,11 @@ def main(argv=None) -> int:
         "--skip-telemetry",
         action="store_true",
         help="skip the telemetry-overhead gate",
+    )
+    parser.add_argument(
+        "--skip-audit",
+        action="store_true",
+        help="skip the audit-overhead gate",
     )
     args = parser.parse_args(argv)
 
@@ -103,6 +110,20 @@ def main(argv=None) -> int:
         if ratio > ceiling:
             failures.append(
                 "telemetry overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
+            )
+
+    if not args.skip_audit:
+        ceiling = kernelbench.AUDIT_OVERHEAD_CEILING
+        overhead = kernelbench.audit_overhead(scale=args.scale, repeats=args.repeats)
+        ratio = overhead["ratio"]
+        status = "ok" if ratio <= ceiling else "TOO EXPENSIVE"
+        print(
+            "%-32s audited/bare %.3fx (ceiling %.2fx)  %s"
+            % ("audit_update_batch", ratio, ceiling, status)
+        )
+        if ratio > ceiling:
+            failures.append(
+                "audit overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
             )
 
     if failures:

@@ -113,6 +113,37 @@ def caida_l2_growth_coefficient() -> tuple:
     return coefficient, exponent
 
 
+def l1_error_bound(epsilon: float, l1_norm: float) -> float:
+    """Theorem 1 point-query error bound: ``eps * L1``.
+
+    With Count-Min-style (unsigned) counters, every estimate is within
+    ``eps * ||f||_1`` of truth with probability ``1 - delta`` -- the
+    bound the live :class:`~repro.telemetry.audit.GuaranteeMonitor`
+    tracks for unsigned sketches, using the shadow auditor's exact
+    stream mass as ``L1``.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1), got %r" % (epsilon,))
+    if l1_norm < 0:
+        raise ValueError("l1_norm must be >= 0, got %r" % (l1_norm,))
+    return epsilon * l1_norm
+
+
+def l2_error_bound(epsilon: float, l2_squared: float) -> float:
+    """Theorem 2/5 point-query error bound: ``eps * L2``.
+
+    With Count-Sketch-style (signed) counters the guarantee is against
+    the second norm; live monitoring estimates ``L2^2`` with the
+    median-row ``sum C^2`` AMS statistic the AlwaysCorrect controller
+    already maintains (:meth:`CanonicalSketch.l2_squared_estimate`).
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1), got %r" % (epsilon,))
+    if l2_squared < 0:
+        raise ValueError("l2_squared must be >= 0, got %r" % (l2_squared,))
+    return epsilon * math.sqrt(l2_squared)
+
+
 def nitro_space_counters(epsilon: float, delta: float, probability: float) -> int:
     """Total NitroSketch counters: ``O(eps^-2 p^-1 log 1/delta)``."""
     _validate_eps_delta_p(epsilon, delta, probability)

@@ -10,7 +10,15 @@ Subcommands:
 * ``experiment`` -- regenerate a paper table/figure by name;
 * ``telemetry`` -- run an instrumented demo, dump/validate a metrics
   snapshot (Prometheus text or JSON), export a JSONL event trace, or
-  serve everything over HTTP (see docs/OBSERVABILITY.md).
+  serve everything over HTTP (see docs/OBSERVABILITY.md);
+* ``audit`` -- run the demo pipeline with a live shadow auditor and
+  guarantee monitor, serve and probe the ``/health`` endpoint, and exit
+  non-zero when the verdict disagrees with the expectation (the CI
+  audit-smoke job's entry point; ``--corrupt`` exercises the violation
+  path);
+* ``top`` -- live terminal dashboard (error vs bound, p, throughput,
+  per-stage timings, health) over a ``/snapshot`` URL or an in-process
+  demo run.
 
 Examples::
 
@@ -20,6 +28,9 @@ Examples::
     nitrosketch experiment fig8 --scale 0.05
     nitrosketch telemetry --demo --format prom
     nitrosketch telemetry --demo --serve --port 9109
+    nitrosketch audit --packets 50000
+    nitrosketch audit --corrupt
+    nitrosketch top --url http://127.0.0.1:9109/snapshot
 """
 
 from __future__ import annotations
@@ -202,18 +213,124 @@ def cmd_telemetry(args) -> int:
 
     if args.serve:
         from repro.telemetry import TelemetryServer
+        from repro.telemetry.health import HealthEvaluator
 
-        server = TelemetryServer(telemetry, host=args.host, port=args.port)
+        server = TelemetryServer(
+            telemetry,
+            host=args.host,
+            port=args.port,
+            health=HealthEvaluator(telemetry),
+        )
         print(
-            "serving /metrics /snapshot /trace on http://%s:%d (Ctrl-C to stop)"
-            % (args.host, server.port),
+            "serving /metrics /snapshot /trace /health on http://%s:%d "
+            "(Ctrl-C to stop)" % (args.host, server.port),
             file=sys.stderr,
         )
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            server.stop()
+        server.serve_forever(install_sigint_handler=True)
     return 0
+
+
+def cmd_audit(args) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.telemetry import Telemetry, TelemetryServer
+    from repro.telemetry.demo import run_audited_demo, validate_audit
+    from repro.telemetry.health import HealthEvaluator, default_rules
+
+    telemetry = Telemetry()
+    summary = run_audited_demo(
+        telemetry, packets=args.packets, seed=args.seed, corrupt=args.corrupt
+    )
+    print(
+        "audit: %(packets)d packets, %(guarantee)s bound %(bound).1f, "
+        "observed max error %(observed_max_error).1f (ratio %(ratio).3f), "
+        "violations %(violations)d" % summary,
+        file=sys.stderr,
+    )
+
+    problems = validate_audit(telemetry, expect_violation=args.corrupt)
+    evaluator = HealthEvaluator(telemetry, default_rules(error_slo=args.error_slo))
+    with TelemetryServer(
+        telemetry, host=args.host, port=args.port, health=evaluator
+    ).start() as server:
+        url = "http://%s:%d/health" % (args.host, server.port)
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                http_status = response.status
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:  # 503 carries the body too
+            http_status = error.code
+            payload = json.loads(error.read().decode("utf-8"))
+        if args.serve:
+            import time
+
+            print(
+                "serving /metrics /snapshot /trace /health on %s (Ctrl-C to stop)"
+                % url,
+                file=sys.stderr,
+            )
+            try:
+                while True:  # the daemon thread serves; park until Ctrl-C
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if args.corrupt:
+        if not summary["violated"]:
+            problems.append("corrupted sketch did not violate the bound")
+        if payload["status"] != "fail" or http_status != 503:
+            problems.append(
+                "/health on the corrupted run returned %s (HTTP %d), expected "
+                "fail (HTTP 503)" % (payload["status"], http_status)
+            )
+    else:
+        if summary["violated"]:
+            problems.append("clean run violated the guarantee bound")
+        if payload["status"] == "fail" or http_status != 200:
+            problems.append(
+                "/health on the clean run returned %s (HTTP %d), expected "
+                "ok/warn (HTTP 200)" % (payload["status"], http_status)
+            )
+    for problem in problems:
+        print("audit: %s" % problem, file=sys.stderr)
+    if not problems:
+        print(
+            "audit: %s path verified (/health %d, status %s)"
+            % ("violation" if args.corrupt else "clean", http_status, payload["status"]),
+            file=sys.stderr,
+        )
+    return 1 if problems else 0
+
+
+def cmd_top(args) -> int:
+    from repro.telemetry.dashboard import SnapshotSource, TopLoop
+
+    if (args.url is None) == (not args.demo):
+        print("top: pass exactly one of --url or --demo", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        source = SnapshotSource(url=args.url)
+    else:
+        from repro.telemetry import Telemetry
+        from repro.telemetry.demo import run_audited_demo
+        from repro.telemetry.health import HealthEvaluator
+
+        from repro.telemetry.health import default_rules
+
+        telemetry = Telemetry()
+        run_audited_demo(telemetry, packets=args.packets, seed=args.seed)
+        HealthEvaluator(telemetry, default_rules(error_slo=args.error_slo)).evaluate()
+        source = SnapshotSource(telemetry=telemetry)
+    loop = TopLoop(
+        source,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+    return loop.run()
 
 
 def cmd_experiment(args) -> int:
@@ -305,6 +422,51 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--host", default="127.0.0.1")
     telemetry.add_argument("--port", type=int, default=9109)
     telemetry.set_defaults(func=cmd_telemetry)
+
+    audit = sub.add_parser(
+        "audit",
+        help="audited demo run + /health probe (CI audit-smoke entry point)",
+    )
+    audit.add_argument("--packets", type=int, default=50_000)
+    audit.add_argument("--seed", type=int, default=7)
+    audit.add_argument(
+        "--corrupt",
+        action="store_true",
+        help="smash the sketch after ingest; the violation alert must fire",
+    )
+    audit.add_argument(
+        "--error-slo",
+        type=float,
+        default=5.0,
+        help="mean relative-error SLO for the health rule set",
+    )
+    audit.add_argument(
+        "--serve", action="store_true", help="keep serving HTTP after the probe"
+    )
+    audit.add_argument("--host", default="127.0.0.1")
+    audit.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    audit.set_defaults(func=cmd_audit)
+
+    top = sub.add_parser("top", help="live terminal dashboard")
+    top.add_argument(
+        "--url", default=None, help="a TelemetryServer /snapshot URL to poll"
+    )
+    top.add_argument(
+        "--demo",
+        action="store_true",
+        help="render over an in-process audited demo run instead of a URL",
+    )
+    top.add_argument("--interval", type=float, default=1.0)
+    top.add_argument(
+        "--iterations", type=int, default=None, help="frames to render (default: run until Ctrl-C)"
+    )
+    top.add_argument(
+        "--no-clear", action="store_true", help="do not clear the screen between frames"
+    )
+    top.add_argument("--packets", type=int, default=50_000)
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--error-slo", type=float, default=5.0)
+    top.set_defaults(func=cmd_top)
 
     return parser
 

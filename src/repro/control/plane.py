@@ -50,6 +50,12 @@ class ControlPlane:
     telemetry:
         Observability sink; defaults to the free
         :data:`~repro.telemetry.NULL_TELEMETRY`.
+    auditor:
+        Optional :class:`~repro.telemetry.audit.ShadowAuditor` or
+        :class:`~repro.telemetry.audit.GuaranteeMonitor`.  Per epoch it
+        is reset, fed the epoch's exact keys, and run against the epoch
+        monitor at the boundary -- live per-epoch accuracy auditing with
+        no change to the measurement path.
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class ControlPlane:
         score: bool = True,
         keep_monitors: Optional[int] = 2,
         telemetry=NULL_TELEMETRY,
+        auditor=None,
     ) -> None:
         if keep_monitors is not None and keep_monitors < 1:
             raise ValueError("keep_monitors must be >= 1 or None")
@@ -67,6 +74,7 @@ class ControlPlane:
         self.score = score
         self.keep_monitors = keep_monitors
         self.telemetry = telemetry
+        self.auditor = auditor
         #: The most recent per-epoch monitors (bounded by ``keep_monitors``).
         self.monitors: List[object] = []
 
@@ -104,12 +112,26 @@ class ControlPlane:
                         detected=len(report.detected),
                         estimate=report.estimate,
                     )
+                if self.auditor is not None:
+                    self._audit_epoch(monitor, epoch_trace)
                 reports.append(epoch_report)
             telemetry.count("control_epochs_total")
             telemetry.event(
                 "control.epoch", epoch=epoch, packets=len(epoch_trace)
             )
         return reports
+
+    def _audit_epoch(self, monitor, epoch_trace: Trace) -> None:
+        """Shadow-audit one epoch's monitor against exact epoch truth."""
+        auditor = self.auditor
+        auditor.reset()
+        if hasattr(auditor, "check"):  # GuaranteeMonitor: rebind + check
+            auditor.monitor = monitor
+            auditor.observe_batch(epoch_trace.keys)
+            auditor.check()
+        else:  # bare ShadowAuditor
+            auditor.observe_batch(epoch_trace.keys)
+            auditor.audit(monitor)
 
     @staticmethod
     def _ingest(monitor, trace: Trace) -> None:

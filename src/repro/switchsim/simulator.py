@@ -90,6 +90,15 @@ class SwitchSimulator:
                 daemon.telemetry = telemetry
                 if hasattr(daemon.monitor, "telemetry"):
                     daemon.monitor.telemetry = telemetry
+                # The shadow auditor (when attached) exports its error
+                # gauges into the same registry as everything else.
+                auditor = daemon.auditor
+                if auditor is not None:
+                    if hasattr(auditor, "telemetry"):
+                        auditor.telemetry = telemetry
+                    inner = getattr(auditor, "auditor", None)
+                    if inner is not None and hasattr(inner, "telemetry"):
+                        inner.telemetry = telemetry
 
     def run(
         self,

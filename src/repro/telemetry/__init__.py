@@ -11,7 +11,16 @@ post-hoc :class:`~repro.metrics.opcount.OpCounter` totals:
 * :mod:`repro.telemetry.tracer` -- a bounded ring buffer of structured
   events with JSONL export (:class:`Tracer`);
 * :mod:`repro.telemetry.exposition` -- Prometheus text format, JSON
-  snapshots, and an optional stdlib HTTP endpoint.
+  snapshots, and an optional stdlib HTTP endpoint;
+* :mod:`repro.telemetry.audit` -- live accuracy auditing: a shadow
+  ground-truth reservoir (:class:`~repro.telemetry.audit.ShadowAuditor`)
+  and the Theorem 1/2/5 guarantee tracker
+  (:class:`~repro.telemetry.audit.GuaranteeMonitor`).  Imported lazily
+  (it needs NumPy);
+* :mod:`repro.telemetry.health` -- a rule engine over metric snapshots
+  (:class:`HealthEvaluator`) feeding the server's ``/health`` route;
+* :mod:`repro.telemetry.dashboard` -- the ``nitrosketch top`` live
+  terminal dashboard.
 
 The :class:`Telemetry` facade bundles one registry and one tracer and is
 what instrumented components hold.  Mirroring the ``NullOps`` pattern of
@@ -73,6 +82,18 @@ METRIC_HELP: Dict[str, str] = {
     "simulator_achieved_mpps": "Simulated achieved forwarding rate.",
     "simulator_cpu_share": "Simulated per-component CPU share at the achieved rate.",
     "opcounter": "OpCounter tallies bridged from the operation-accounting layer.",
+    "audit_rounds_total": "Shadow-audit rounds performed.",
+    "audit_tracked_flows": "Flows in the shadow ground-truth reservoir.",
+    "audit_total_weight": "Exact total stream mass seen by the auditor (L1).",
+    "audit_sample_rate": "Flow-inclusion probability of the shadow reservoir.",
+    "audit_relative_error": "Observed relative error of sketch answers, by statistic.",
+    "audit_absolute_error": "Observed absolute error of sketch answers, by statistic.",
+    "audit_error_bound": "Live theoretical error bound (eps*L1 or eps*L2).",
+    "audit_bound_ratio": "Observed worst error as a fraction of the theoretical bound.",
+    "audit_guarantee_violations_total": "Guarantee-bound violations detected.",
+    "audit_guarantee_violations": "Cumulative violations (gauge; 0 = checked and clean).",
+    "daemon_queue_depth": "Batches waiting in the measurement daemon's ingest queue.",
+    "health_status": "Health rule verdicts: 0 = ok, 1 = warn, 2 = fail.",
 }
 
 

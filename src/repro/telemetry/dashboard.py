@@ -1,0 +1,253 @@
+"""``nitrosketch top``: a live terminal dashboard over telemetry snapshots.
+
+Polls a metrics snapshot -- from a live :class:`~repro.telemetry.Telemetry`
+object in-process, or over HTTP from a ``TelemetryServer``'s
+``/snapshot`` route -- and renders the operational state the paper's
+story turns on: observed error vs the theoretical bound, the sampling
+probability, ingest throughput (derived from counter deltas between
+polls), per-stage pipeline span timings, and the health rule verdicts.
+
+The renderer is a pure function (``snapshot [+ previous snapshot] ->
+string``) so the frame content is unit-testable without a terminal; the
+:class:`TopLoop` driver adds the ANSI clear/redraw and the poll cadence.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+#: health status value -> display word.
+_STATUS_WORDS = {0: "ok", 1: "WARN", 2: "FAIL"}
+
+
+def _to_float(value) -> float:
+    """Sample value -> float (non-finite values arrive JSON-encoded as
+    ``"+Inf"`` / ``"-Inf"`` / ``"NaN"`` strings)."""
+    if isinstance(value, str):
+        return float(value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    return float(value)
+
+
+def _samples(snap: Dict, metric: str) -> List[Tuple[Dict[str, str], Dict]]:
+    family = snap.get("metrics", {}).get(metric)
+    if not family:
+        return []
+    return [(sample.get("labels", {}), sample) for sample in family["samples"]]
+
+
+def _value(snap: Dict, metric: str, **labels) -> Optional[float]:
+    """Sum of matching scalar samples (subset label match), or None."""
+    total, matched = 0.0, False
+    for sample_labels, sample in _samples(snap, metric):
+        if all(sample_labels.get(k) == v for k, v in labels.items()) and "value" in sample:
+            total += _to_float(sample["value"])
+            matched = True
+    return total if matched else None
+
+
+def _format_count(value: float) -> str:
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return "%.2f%s" % (value / factor, suffix)
+    return "%.0f" % value
+
+
+def _format_seconds(value: float) -> str:
+    for factor, suffix in ((1.0, "s"), (1e-3, "ms"), (1e-6, "µs")):
+        if abs(value) >= factor:
+            return "%.1f%s" % (value / factor, suffix)
+    return "%.0fns" % (value / 1e-9)
+
+
+def _format_error(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    return "%.3f%%" % (100.0 * value)
+
+
+def render_dashboard(
+    snap: Dict,
+    previous: Optional[Dict] = None,
+    interval_seconds: Optional[float] = None,
+    clock: Optional[float] = None,
+) -> str:
+    """Render one dashboard frame from a snapshot dict.
+
+    ``previous`` and ``interval_seconds`` enable the throughput section
+    (counter deltas per second); without them, cumulative totals show.
+    """
+    lines: List[str] = []
+    stamp = time.strftime("%H:%M:%S", time.localtime(clock))
+    probability = _value(snap, "nitro_sampling_probability")
+    header = "nitrosketch top — %s" % stamp
+    if probability is not None:
+        header += "   p=%.6g" % probability
+    converged = _value(snap, "nitro_convergence_total")
+    if converged is not None:
+        header += "   converged=%s" % ("yes" if converged > 0 else "no")
+    lines.append(header)
+    lines.append("=" * max(len(header), 64))
+
+    # -- accuracy: observed error vs the live theoretical bound ----------
+    mean_err = _value(snap, "audit_relative_error", stat="mean")
+    p99_err = _value(snap, "audit_relative_error", stat="p99")
+    bound = _value(snap, "audit_error_bound")
+    ratio = _value(snap, "audit_bound_ratio")
+    violations = _value(snap, "audit_guarantee_violations")
+    tracked = _value(snap, "audit_tracked_flows")
+    if mean_err is None and bound is None:
+        lines.append("accuracy    (no auditor attached)")
+    else:
+        lines.append(
+            "accuracy    rel.err mean %s  p99 %s   tracked %s flows"
+            % (
+                _format_error(mean_err),
+                _format_error(p99_err),
+                "-" if tracked is None else "%d" % tracked,
+            )
+        )
+        bar = ""
+        if ratio is not None and ratio == ratio and ratio not in (float("inf"),):
+            filled = min(int(round(40 * min(ratio, 1.0))), 40)
+            bar = "[%s%s] %.1f%% of bound" % ("#" * filled, "." * (40 - filled), 100 * ratio)
+        lines.append(
+            "guarantee   bound %s   %s   violations %s"
+            % (
+                "-" if bound is None else _format_count(bound),
+                bar or "ratio -",
+                "-" if violations is None else "%d" % violations,
+            )
+        )
+
+    # -- throughput: counter deltas between polls ------------------------
+    for metric, label in (
+        ("nitro_packets_total", "sketch pkts"),
+        ("daemon_packets_total", "daemon pkts"),
+        ("pipeline_batches_total", "batches"),
+    ):
+        now_total = _value(snap, metric)
+        if now_total is None:
+            continue
+        if previous is not None and interval_seconds and interval_seconds > 0:
+            before = _value(previous, metric) or 0.0
+            rate = max(now_total - before, 0.0) / interval_seconds
+            lines.append(
+                "throughput  %-12s %s/s  (total %s)"
+                % (label, _format_count(rate), _format_count(now_total))
+            )
+        else:
+            lines.append(
+                "throughput  %-12s total %s" % (label, _format_count(now_total))
+            )
+
+    # -- per-stage span timings ------------------------------------------
+    stages = []
+    for labels, sample in _samples(snap, "pipeline_stage_seconds"):
+        count = sample.get("count", 0)
+        if count:
+            mean = _to_float(sample.get("sum", 0.0)) / count
+            stages.append((labels.get("platform", "?"), labels.get("stage", "?"), mean, count))
+    if stages:
+        stages.sort(key=lambda item: -item[2])
+        lines.append("stages      (mean per batch)")
+        for platform, stage, mean, count in stages[:8]:
+            lines.append(
+                "  %-28s %10s  x%d" % ("%s/%s" % (platform, stage), _format_seconds(mean), count)
+            )
+
+    # -- health rule verdicts --------------------------------------------
+    verdicts = []
+    overall = None
+    for labels, sample in _samples(snap, "health_status"):
+        word = _STATUS_WORDS.get(int(_to_float(sample.get("value", 0))), "?")
+        if labels.get("rule") == "overall":
+            overall = word
+        else:
+            verdicts.append("%s %s" % (labels.get("rule", "?"), word))
+    if overall is not None:
+        lines.append("health      %s   (%s)" % (overall, ", ".join(sorted(verdicts))))
+
+    return "\n".join(lines) + "\n"
+
+
+class SnapshotSource:
+    """Uniform snapshot access: a live Telemetry object or a /snapshot URL."""
+
+    def __init__(self, telemetry=None, url: Optional[str] = None, timeout: float = 5.0) -> None:
+        if (telemetry is None) == (url is None):
+            raise ValueError("pass exactly one of telemetry or url")
+        self.telemetry = telemetry
+        self.url = url
+        self.timeout = timeout
+
+    def fetch(self) -> Dict:
+        if self.telemetry is not None:
+            return self.telemetry.snapshot()
+        with urllib.request.urlopen(self.url, timeout=self.timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+
+class TopLoop:
+    """Poll-and-redraw driver for ``nitrosketch top``.
+
+    Parameters
+    ----------
+    source:
+        Where snapshots come from.
+    interval:
+        Seconds between polls.
+    iterations:
+        Stop after this many frames (``None`` = run until interrupted).
+    clear:
+        Prefix each frame with the ANSI clear sequence (off for tests
+        and non-TTY output).
+    """
+
+    def __init__(
+        self,
+        source: SnapshotSource,
+        interval: float = 1.0,
+        iterations: Optional[int] = None,
+        clear: bool = True,
+        out=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.source = source
+        self.interval = interval
+        self.iterations = iterations
+        self.clear = clear
+        self.out = out
+        self.frames = 0
+
+    def run(self) -> int:
+        """Render frames until the iteration budget or Ctrl-C; returns 0."""
+        import sys
+
+        out = self.out if self.out is not None else sys.stdout
+        previous: Optional[Dict] = None
+        try:
+            while self.iterations is None or self.frames < self.iterations:
+                snap = self.source.fetch()
+                frame = render_dashboard(
+                    snap, previous=previous, interval_seconds=self.interval
+                )
+                if self.clear:
+                    out.write(_CLEAR)
+                out.write(frame)
+                out.flush()
+                previous = snap
+                self.frames += 1
+                if self.iterations is not None and self.frames >= self.iterations:
+                    break
+                time.sleep(self.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0

@@ -43,6 +43,19 @@ REQUIRED_EVENTS = (
     "simulate.run",
 )
 
+#: Metric families an audited run must additionally populate.
+REQUIRED_AUDIT_METRICS = (
+    "audit_rounds_total",
+    "audit_tracked_flows",
+    "audit_total_weight",
+    "audit_sample_rate",
+    "audit_relative_error",
+    "audit_absolute_error",
+    "audit_error_bound",
+    "audit_bound_ratio",
+    "audit_guarantee_violations",
+)
+
 
 def run_demo(telemetry, packets: int = 100_000, seed: int = 7) -> Dict[str, object]:
     """Run the instrumented demo pipeline; returns a summary dict."""
@@ -92,6 +105,92 @@ def run_demo(telemetry, packets: int = 100_000, seed: int = 7) -> Dict[str, obje
         "achieved_mpps": result.achieved_mpps,
         "epochs": len(epochs),
     }
+
+
+def run_audited_demo(
+    telemetry,
+    packets: int = 50_000,
+    seed: int = 7,
+    corrupt: bool = False,
+) -> Dict[str, object]:
+    """Run the demo pipeline with a live shadow auditor attached.
+
+    The same VPP + AlwaysCorrect Nitro Count Sketch stack as
+    :func:`run_demo`, but a :class:`~repro.telemetry.audit.ShadowAuditor`
+    + :class:`~repro.telemetry.audit.GuaranteeMonitor` ride the daemon:
+    every ingested batch is mirrored into exact shadow truth, and a final
+    guarantee check compares observed worst error against the Theorem 2/5
+    ``eps * L2`` bound.  With ``corrupt=True`` the sketch's counters are
+    smashed after ingest (simulating memory corruption / a broken
+    implementation) so the check **must** record a violation -- the CI
+    smoke's negative path.
+    """
+    from repro.core import NitroSketch
+    from repro.core.config import NitroConfig, NitroMode
+    from repro.sketches import CountSketch
+    from repro.switchsim import MeasurementDaemon, SwitchSimulator, VPPPipeline
+    from repro.telemetry.audit import GuaranteeMonitor, ShadowAuditor
+    from repro.traffic import caida_like
+
+    trace = caida_like(packets, n_flows=max(200, packets // 20), seed=seed)
+    config = NitroConfig(
+        probability=0.1,
+        epsilon=0.5,
+        mode=NitroMode.ALWAYS_CORRECT,
+        convergence_check_period=1000,
+        top_k=100,
+        seed=seed,
+    )
+    nitro = NitroSketch(CountSketch(5, 4096, seed=seed), config)
+    auditor = ShadowAuditor(capacity=256, seed=seed, telemetry=telemetry)
+    guard = GuaranteeMonitor(auditor, nitro)
+    daemon = MeasurementDaemon(nitro, name="nitro-cs", auditor=guard)
+    simulator = SwitchSimulator(VPPPipeline(), daemon, telemetry=telemetry)
+    result = simulator.run(trace)
+
+    if corrupt:
+        # Wipe the counter arrays (a mid-run memory loss).  Additive or
+        # multiplicative smashing cannot reliably trip the check: the
+        # Count Sketch median cancels constant offsets, and the eps*L2
+        # bound is read from the same counters, so scaling them scales
+        # the bound identically.  Zeroing deflates the bound to 0 while
+        # every estimate's error becomes the flow's exact truth -- a
+        # guaranteed violation (and an infinite error/bound ratio, which
+        # exercises the non-finite exposition path end to end).
+        nitro.sketch.counters[:] = 0.0
+    report = guard.check()
+
+    return {
+        "packets": packets,
+        "corrupted": corrupt,
+        "converged": nitro.converged,
+        "probability": nitro.probability,
+        "achieved_mpps": result.achieved_mpps,
+        "tracked_flows": auditor.tracked_flows,
+        "guarantee": report.guarantee,
+        "bound": report.bound,
+        "observed_max_error": report.observed_max_error,
+        "ratio": report.ratio,
+        "violated": report.violated,
+        "violations": guard.violations,
+        "mean_relative_error": report.audit.mean_relative_error,
+    }
+
+
+def validate_audit(telemetry, expect_violation: bool = False) -> List[str]:
+    """Check an audited run's snapshot; returns problem strings."""
+    problems = []
+    for name in REQUIRED_AUDIT_METRICS:
+        if name not in telemetry.registry:
+            problems.append("missing metric family: %s" % name)
+    violations = telemetry.tracer.events("audit.violation")
+    if expect_violation and not violations:
+        problems.append("corrupted sketch did not fire audit.violation")
+    if not expect_violation and violations:
+        problems.append(
+            "clean run fired audit.violation %d time(s)" % len(violations)
+        )
+    return problems
 
 
 def validate(telemetry) -> List[str]:

@@ -10,15 +10,23 @@ Three ways out of the registry/tracer:
   tracer's ring state; :func:`render_json` serialises it.
 * :class:`TelemetryServer` / :func:`start_http_server` -- a stdlib
   ``http.server`` endpoint run in a daemon thread, serving ``/metrics``
-  (Prometheus), ``/snapshot`` (JSON) and ``/trace`` (JSONL).  No
+  (Prometheus), ``/snapshot`` (JSON), ``/trace`` (JSONL) and -- when a
+  :class:`~repro.telemetry.health.HealthEvaluator` is attached --
+  ``/health`` (rule-by-rule status JSON, 503 on failure).  No
   third-party dependency: the point is that any Prometheus scraper or
   ``curl`` can watch a live run.
+
+Non-finite samples are legal (``relative_error`` returns ``inf`` when
+truth is zero): the text format renders them as ``+Inf`` / ``-Inf`` /
+``NaN`` per the exposition spec, and JSON snapshots encode them as
+those strings since bare ``Infinity`` tokens are not valid JSON.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
@@ -96,6 +104,18 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _json_value(value: float):
+    """A strictly-JSON-safe sample value.
+
+    ``json.dumps`` would otherwise emit bare ``Infinity`` / ``NaN``
+    tokens, which are not valid JSON; non-finite values are encoded as
+    their Prometheus text strings instead.
+    """
+    if math.isfinite(value):
+        return value
+    return _format_value(value)
+
+
 def snapshot(registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> Dict:
     """A JSON-able snapshot of every metric (and the tracer's state)."""
     metrics = {}
@@ -109,12 +129,12 @@ def snapshot(registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> Dict
                         "labels": labels,
                         "buckets": list(family.buckets),
                         "counts": list(child.counts),
-                        "sum": child.sum,
+                        "sum": _json_value(child.sum),
                         "count": child.count,
                     }
                 )
             else:
-                samples.append({"labels": labels, "value": child.value})
+                samples.append({"labels": labels, "value": _json_value(child.value)})
         metrics[family.name] = {
             "type": family.kind,
             "help": family.help,
@@ -137,10 +157,19 @@ def render_json(registry: MetricsRegistry, tracer: Optional[Tracer] = None, inde
 
 
 class TelemetryServer:
-    """Serves a live telemetry object over HTTP from a daemon thread."""
+    """Serves a live telemetry object over HTTP from a daemon thread.
 
-    def __init__(self, telemetry, host: str = "127.0.0.1", port: int = 9109) -> None:
+    Pass a :class:`~repro.telemetry.health.HealthEvaluator` as
+    ``health`` to additionally serve ``/health``: rule-by-rule status
+    JSON, HTTP 200 while the verdict is ``ok``/``warn`` and 503 on
+    ``fail`` so probes and load balancers get the conventional signal.
+    """
+
+    def __init__(
+        self, telemetry, host: str = "127.0.0.1", port: int = 9109, health=None
+    ) -> None:
         self.telemetry = telemetry
+        self.health = health
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -155,6 +184,11 @@ class TelemetryServer:
                 elif path == "/trace":
                     body = outer.telemetry.tracer.to_jsonl()
                     self._reply(200, "application/x-ndjson", body)
+                elif path == "/health" and outer.health is not None:
+                    report = outer.health.evaluate()
+                    status = 503 if report.status == "fail" else 200
+                    body = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+                    self._reply(status, "application/json", body)
                 else:
                     self._reply(404, "text/plain", "not found: %s\n" % path)
 
@@ -172,32 +206,92 @@ class TelemetryServer:
         self._server = ThreadingHTTPServer((host, port), Handler)
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._serving = False
 
     @property
     def port(self) -> int:
         """The bound port (useful with ``port=0`` for an ephemeral one)."""
         return self._server.server_address[1]
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def start(self) -> "TelemetryServer":
         """Serve from a daemon thread; returns self for chaining."""
+        if self._closed:
+            raise RuntimeError("server already closed")
+        self._serving = True
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="telemetry-http", daemon=True
         )
         self._thread.start()
         return self
 
-    def serve_forever(self) -> None:
-        """Serve on the calling thread (the CLI's ``--serve`` loop)."""
-        self._server.serve_forever()
+    def serve_forever(self, install_sigint_handler: bool = False) -> None:
+        """Serve on the calling thread (the CLI's ``--serve`` loop).
 
-    def stop(self) -> None:
-        self._server.shutdown()
+        With ``install_sigint_handler``, SIGINT triggers a graceful
+        shutdown (the serve loop exits, the socket closes) instead of
+        unwinding through ``KeyboardInterrupt`` mid-request; the
+        previous handler is restored before returning.
+        """
+        if self._closed:
+            raise RuntimeError("server already closed")
+        previous_handler = None
+        if install_sigint_handler:
+            def _on_sigint(signum, frame):
+                # shutdown() blocks until the poll loop acknowledges, and
+                # this handler runs *on* the serving thread -- request it
+                # from a helper thread so the handler returns immediately
+                # and the loop can exit at its next poll tick.
+                threading.Thread(
+                    target=self._server.shutdown, name="telemetry-shutdown", daemon=True
+                ).start()
+
+            try:
+                previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+            except ValueError:  # not the main thread
+                previous_handler = None
+        self._serving = True
+        try:
+            self._server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if previous_handler is not None:
+                signal.signal(signal.SIGINT, previous_handler)
+            self.close()
+
+    def close(self) -> None:
+        """Shut down and release the port; safe to call any number of times."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            # shutdown() waits on the serve loop's acknowledgement event,
+            # which only exists once a loop has run -- guard so closing a
+            # never-started server cannot block.
+            self._server.shutdown()
         self._server.server_close()
-        if self._thread is not None:
+        if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=5.0)
-            self._thread = None
+        self._thread = None
+
+    # Backwards-compatible alias (PR 2 name).
+    def stop(self) -> None:
+        self.close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
-def start_http_server(telemetry, host: str = "127.0.0.1", port: int = 9109) -> TelemetryServer:
+def start_http_server(
+    telemetry, host: str = "127.0.0.1", port: int = 9109, health=None
+) -> TelemetryServer:
     """Start a daemon-thread HTTP endpoint for ``telemetry``."""
-    return TelemetryServer(telemetry, host=host, port=port).start()
+    return TelemetryServer(telemetry, host=host, port=port, health=health).start()

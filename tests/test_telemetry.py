@@ -582,3 +582,141 @@ class TestIntegratedPipelineTelemetry:
         summary = run_demo(telemetry, packets=20_000, seed=7)
         assert summary["converged"]
         assert validate(telemetry) == []
+
+
+class TestNonFiniteExposition:
+    """Non-finite samples (relative_error can be inf) must survive both
+    exposition formats: Prometheus text per the 0.0.4 spec, and JSON as
+    "+Inf"/"-Inf"/"NaN" strings (bare Infinity tokens are not JSON)."""
+
+    def test_format_value_non_finite(self):
+        from repro.telemetry.exposition import _format_value
+
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+
+    def test_prometheus_renders_non_finite_samples(self):
+        telemetry = Telemetry()
+        telemetry.gauge("audit_bound_ratio", float("inf"), component="audit")
+        telemetry.gauge("audit_relative_error", float("nan"), component="audit", stat="max")
+        text = telemetry.render_prometheus()
+        assert 'audit_bound_ratio{component="audit"} +Inf' in text
+        assert "NaN" in text
+
+    def test_json_snapshot_encodes_non_finite_as_strings(self):
+        telemetry = Telemetry()
+        telemetry.gauge("audit_bound_ratio", float("inf"), component="audit")
+        telemetry.gauge("neg", float("-inf"))
+        telemetry.observe("h", float("inf"))
+        body = telemetry.render_json()
+        payload = json.loads(body)  # strict: would fail on bare Infinity
+        assert "Infinity" not in body
+        ratio = payload["metrics"]["audit_bound_ratio"]["samples"][0]["value"]
+        assert ratio == "+Inf"
+        assert payload["metrics"]["neg"]["samples"][0]["value"] == "-Inf"
+        assert payload["metrics"]["h"]["samples"][0]["sum"] == "+Inf"
+
+    def test_snapshot_route_serves_valid_json_with_inf(self):
+        telemetry = Telemetry()
+        telemetry.gauge("audit_bound_ratio", float("inf"), component="audit")
+        with TelemetryServer(telemetry, port=0).start() as server:
+            raw = urllib.request.urlopen(
+                "http://127.0.0.1:%d/snapshot" % server.port
+            ).read()
+        payload = json.loads(raw)
+        value = payload["metrics"]["audit_bound_ratio"]["samples"][0]["value"]
+        assert value == "+Inf"
+
+
+class TestServerLifecycle:
+    def test_close_is_idempotent(self):
+        server = TelemetryServer(Telemetry(), port=0).start()
+        server.close()
+        assert server.closed
+        server.close()  # second close: no error, no hang
+        server.stop()  # alias keeps working too
+
+    def test_close_without_start_does_not_hang(self):
+        server = TelemetryServer(Telemetry(), port=0)
+        server.close()
+        assert server.closed
+
+    def test_start_after_close_rejected(self):
+        server = TelemetryServer(Telemetry(), port=0)
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_context_manager_closes(self):
+        with TelemetryServer(Telemetry(), port=0).start() as server:
+            assert not server.closed
+        assert server.closed
+
+    def test_serve_forever_exits_on_close(self):
+        import threading
+
+        server = TelemetryServer(Telemetry(), port=0)
+        # install_sigint_handler from a non-main thread must be a no-op
+        # (signal.signal raises ValueError there), not a crash.
+        thread = threading.Thread(
+            target=lambda: server.serve_forever(install_sigint_handler=True),
+            daemon=True,
+        )
+        thread.start()
+        for _ in range(100):
+            try:
+                urllib.request.urlopen(
+                    "http://127.0.0.1:%d/metrics" % server.port, timeout=1
+                )
+                break
+            except OSError:
+                import time
+
+                time.sleep(0.01)
+        server.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert server.closed
+
+    def test_sigint_triggers_graceful_shutdown(self):
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+        import time
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.telemetry import Telemetry, TelemetryServer
+
+            server = TelemetryServer(Telemetry(), port=0)
+            print(server.port, flush=True)
+            server.serve_forever(install_sigint_handler=True)
+            print("CLEAN-EXIT" if server.closed else "LEAKED", flush=True)
+            """
+        )
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            port = int(proc.stdout.readline())
+            urllib.request.urlopen("http://127.0.0.1:%d/metrics" % port, timeout=5)
+            time.sleep(0.1)
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert b"CLEAN-EXIT" in out, (out, err)
+        assert proc.returncode == 0
