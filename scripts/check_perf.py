@@ -11,7 +11,9 @@ gates (kwise >= 5x over the object-dtype path, NitroSketch batch >= 2x
 end-to-end), the telemetry-overhead ceiling (a live Telemetry sink on
 the batch update path must cost <= 10% over NULL_TELEMETRY), or the
 audit-overhead ceiling (a live shadow auditor riding the batch ingest
-path must cost <= 10% over an unaudited run).
+path must cost <= 10% over an unaudited run), or the checkpoint-overhead
+ceiling (periodic crash-safety checkpoints at the default cadence must
+cost <= 10% over a daemon that never checkpoints).
 ``--update`` rewrites the baseline from this run instead.
 """
 
@@ -47,6 +49,11 @@ def main(argv=None) -> int:
         "--skip-audit",
         action="store_true",
         help="skip the audit-overhead gate",
+    )
+    parser.add_argument(
+        "--skip-checkpoint",
+        action="store_true",
+        help="skip the checkpoint-overhead gate",
     )
     args = parser.parse_args(argv)
 
@@ -124,6 +131,22 @@ def main(argv=None) -> int:
         if ratio > ceiling:
             failures.append(
                 "audit overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
+            )
+
+    if not args.skip_checkpoint:
+        ceiling = kernelbench.CHECKPOINT_OVERHEAD_CEILING
+        overhead = kernelbench.checkpoint_overhead(
+            scale=args.scale, repeats=args.repeats
+        )
+        ratio = overhead["ratio"]
+        status = "ok" if ratio <= ceiling else "TOO EXPENSIVE"
+        print(
+            "%-32s checkpointed/bare %.3fx (ceiling %.2fx)  %s"
+            % ("checkpoint_ingest", ratio, ceiling, status)
+        )
+        if ratio > ceiling:
+            failures.append(
+                "checkpoint overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
             )
 
     if failures:

@@ -18,7 +18,11 @@ Subcommands:
   path);
 * ``top`` -- live terminal dashboard (error vs bound, p, throughput,
   per-stage timings, health) over a ``/snapshot`` URL or an in-process
-  demo run.
+  demo run;
+* ``chaos`` -- fault-injection harness: kill-mid-epoch, truncated and
+  corrupted checkpoints, dropped exports, each followed by recovery and
+  a shadow-audited bound check (the CI chaos-smoke job's entry point;
+  see docs/RECOVERY.md).
 
 Examples::
 
@@ -30,6 +34,7 @@ Examples::
     nitrosketch telemetry --demo --serve --port 9109
     nitrosketch audit --packets 50000
     nitrosketch audit --corrupt
+    nitrosketch chaos --quick
     nitrosketch top --url http://127.0.0.1:9109/snapshot
 """
 
@@ -333,6 +338,28 @@ def cmd_top(args) -> int:
     return loop.run()
 
 
+def cmd_chaos(args) -> int:
+    """Inject faults, recover, audit; exit non-zero on any failure."""
+    from repro.faults import run_chaos
+
+    results = run_chaos(
+        packets=args.packets,
+        seed=args.seed,
+        directory=args.dir,
+        quick=args.quick,
+    )
+    failed = 0
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        print("%-20s %s  %s" % (result.name, status, result.detail))
+        if not result.passed:
+            failed += 1
+    print(
+        "chaos: %d/%d scenario(s) passed" % (len(results) - failed, len(results))
+    )
+    return 1 if failed else 0
+
+
 def cmd_experiment(args) -> int:
     module = importlib.import_module("repro.experiments.%s" % args.name)
     kwargs = {}
@@ -467,6 +494,20 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--seed", type=int, default=7)
     top.add_argument("--error-slo", type=float, default=5.0)
     top.set_defaults(func=cmd_top)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection: inject -> recover -> audit (see docs/RECOVERY.md)",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true", help="CI-sized trace (the chaos-smoke job)"
+    )
+    chaos.add_argument("--packets", type=int, default=60_000)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--dir", default=None, help="checkpoint directory (default: a temp dir)"
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

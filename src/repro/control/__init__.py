@@ -25,10 +25,14 @@ from repro.control.plane import ControlPlane, EpochReport, KAryChangeMonitor
 from repro.control.windows import SlidingWindowMonitor
 from repro.control.export import (
     ControlLink,
+    deserialize_monitor,
     deserialize_sketch,
     export_cost,
+    register_sketch_class,
+    serialize_monitor,
     serialize_sketch,
 )
+from repro.control.checkpoint import Checkpoint, CheckpointManager
 
 __all__ = [
     "MeasurementTask",
@@ -43,6 +47,11 @@ __all__ = [
     "ControlLink",
     "serialize_sketch",
     "deserialize_sketch",
+    "serialize_monitor",
+    "deserialize_monitor",
+    "register_sketch_class",
     "export_cost",
     "SlidingWindowMonitor",
+    "Checkpoint",
+    "CheckpointManager",
 ]

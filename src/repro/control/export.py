@@ -1,23 +1,47 @@
-"""Sketch serialization + control-plane transfer model.
+"""Sketch/monitor serialization + control-plane transfer model.
 
 The paper's control plane "periodically (at the end of each epoch)
 receives sketching data from the data plane module through a 1GbE link"
 (Section 6).  This module provides:
 
+* a versioned, CRC-checked wire format (magic ``NSKW``, format version
+  :data:`FORMAT_VERSION`) framing a JSON header plus raw binary counter
+  sections;
 * :func:`serialize_sketch` / :func:`deserialize_sketch` -- byte-exact
-  round-trip of canonical sketches (and Nitro wrappers / UnivMon, whose
-  state is their sketches plus top-k contents);
+  round-trip of canonical sketches;
+* :func:`serialize_monitor` / :func:`deserialize_monitor` -- byte-exact
+  round-trip of *every* monitor: canonical sketches, NitroSketch
+  wrappers (counters, top-k contents, controller state, the geometric
+  ``_pending`` skip and both PRNG cursors -- a restored sketch replays
+  identically), vanilla UnivMon and NitroUnivMon;
+* :func:`register_sketch_class` -- extension hook for new canonical
+  sketch classes;
 * :class:`ControlLink` -- the 1 GbE transfer model: how long an epoch's
   sketch export occupies the management link, the quantity that bounds
   how small epochs can get in the paper's deployment.
+
+Wire format (little-endian)::
+
+    offset  size  field
+    0       4     magic  b"NSKW"
+    4       2     format version (currently 2)
+    6       4     header length H
+    10      H     header: UTF-8 JSON; "sections" lists section lengths
+    10+H    ...   binary sections, concatenated in header order
+    end-4   4     CRC32 (zlib) over every preceding byte
+
+All scalar state (floats, big integers, PRNG cursors) rides in the JSON
+header -- Python's ``json`` round-trips float64 exactly via ``repr`` and
+has native big integers, so no precision is lost.  Counter grids ride as
+raw float64 sections.
 """
 
 from __future__ import annotations
 
-import io
 import json
+import zlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -25,13 +49,152 @@ from repro.sketches.base import CanonicalSketch
 from repro.sketches.countmin import CountMinSketch
 from repro.sketches.countsketch import CountSketch
 from repro.sketches.kary import KArySketch
+from repro.sketches.topk import TopK
+
+MAGIC = b"NSKW"
+#: Wire format version; bump on any layout change.
+FORMAT_VERSION = 2
 
 #: Registry of serializable canonical sketch classes.
-_SKETCH_CLASSES = {
+_SKETCH_CLASSES: Dict[str, Type[CanonicalSketch]] = {
     "CountMinSketch": CountMinSketch,
     "CountSketch": CountSketch,
     "KArySketch": KArySketch,
 }
+
+
+def register_sketch_class(cls: Type[CanonicalSketch], name: Optional[str] = None) -> None:
+    """Register a canonical sketch class for (de)serialization.
+
+    The class must be constructible as ``cls(depth, width, seed,
+    hash_family=...)``; an optional ``total`` attribute (KArySketch
+    style) is carried automatically.
+    """
+    _SKETCH_CLASSES[name or cls.__name__] = cls
+
+
+# ---------------------------------------------------------------------------
+# Framing.
+# ---------------------------------------------------------------------------
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError("not JSON-serializable: %r" % (type(value),))
+
+
+def _frame(header: Dict[str, Any], sections: List[bytes]) -> bytes:
+    """Assemble magic + version + header + sections + CRC."""
+    header = dict(header)
+    header["sections"] = [len(section) for section in sections]
+    header_bytes = json.dumps(header, default=_json_default).encode("utf-8")
+    body = b"".join(
+        [
+            MAGIC,
+            FORMAT_VERSION.to_bytes(2, "little"),
+            len(header_bytes).to_bytes(4, "little"),
+            header_bytes,
+        ]
+        + sections
+    )
+    return body + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def _unframe(data: bytes) -> Tuple[Dict[str, Any], List[bytes]]:
+    """Validate and split a frame; raises ValueError on any corruption."""
+    if len(data) < 14:
+        raise ValueError(
+            "truncated frame: %d bytes, need at least 14" % len(data)
+        )
+    if data[:4] != MAGIC:
+        raise ValueError("bad magic %r (expected %r)" % (data[:4], MAGIC))
+    version = int.from_bytes(data[4:6], "little")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            "unsupported format version %d (this build reads %d)"
+            % (version, FORMAT_VERSION)
+        )
+    stored_crc = int.from_bytes(data[-4:], "little")
+    actual_crc = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise ValueError(
+            "CRC mismatch: stored 0x%08x, computed 0x%08x (truncated or "
+            "corrupt frame)" % (stored_crc, actual_crc)
+        )
+    header_length = int.from_bytes(data[6:10], "little")
+    header_end = 10 + header_length
+    if header_end > len(data) - 4:
+        raise ValueError("truncated frame: header overruns payload")
+    try:
+        header = json.loads(data[10:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError("corrupt header: %s" % (exc,))
+    lengths = header.get("sections", [])
+    sections: List[bytes] = []
+    cursor = header_end
+    for length in lengths:
+        sections.append(data[cursor : cursor + length])
+        cursor += length
+    if cursor != len(data) - 4:
+        raise ValueError(
+            "section lengths disagree with payload: header claims %d bytes, "
+            "frame carries %d" % (cursor - header_end, len(data) - 4 - header_end)
+        )
+    return header, sections
+
+
+# ---------------------------------------------------------------------------
+# Canonical sketches.
+# ---------------------------------------------------------------------------
+
+
+def _sketch_header(sketch: CanonicalSketch) -> Dict[str, Any]:
+    class_name = type(sketch).__name__
+    if class_name not in _SKETCH_CLASSES:
+        raise TypeError("unsupported sketch class %r" % (class_name,))
+    header: Dict[str, Any] = {
+        "class": class_name,
+        "depth": sketch.depth,
+        "width": sketch.width,
+        "seed": sketch.seed,
+        "hash_family": sketch.hash_family,
+    }
+    if hasattr(sketch, "total"):
+        header["total"] = float(sketch.total)
+    return header
+
+
+def _sketch_section(sketch: CanonicalSketch) -> bytes:
+    return sketch.counters.astype(np.float64).tobytes()
+
+
+def _restore_sketch(header: Dict[str, Any], section: bytes) -> CanonicalSketch:
+    sketch_cls = _SKETCH_CLASSES.get(header["class"])
+    if sketch_cls is None:
+        raise ValueError("unknown sketch class %r" % (header["class"],))
+    depth = int(header["depth"])
+    width = int(header["width"])
+    expected = depth * width * 8
+    if len(section) != expected:
+        raise ValueError(
+            "truncated or corrupt sketch payload: %d bytes for a %dx%d "
+            "float64 grid (expected %d)" % (len(section), depth, width, expected)
+        )
+    sketch = sketch_cls(
+        depth,
+        width,
+        header["seed"],
+        hash_family=header.get("hash_family", "multiply_shift"),
+    )
+    sketch.counters = (
+        np.frombuffer(section, dtype=np.float64).reshape(depth, width).copy()
+    )
+    if "total" in header and hasattr(sketch, "total"):
+        sketch.total = header["total"]
+    return sketch
 
 
 def serialize_sketch(sketch: CanonicalSketch) -> bytes:
@@ -41,46 +204,247 @@ def serialize_sketch(sketch: CanonicalSketch) -> bytes:
     grid and the scalar state travel -- the same wire format choice the
     paper's data plane makes (ship counters, rebuild hashes).
     """
-    class_name = type(sketch).__name__
-    if class_name not in _SKETCH_CLASSES:
-        raise TypeError("unsupported sketch class %r" % (class_name,))
-    header = {
-        "class": class_name,
-        "depth": sketch.depth,
-        "width": sketch.width,
-        "seed": sketch.seed,
-        "hash_family": sketch.hash_family,
-    }
-    if isinstance(sketch, KArySketch):
-        header["total"] = sketch.total
-    buffer = io.BytesIO()
-    header_bytes = json.dumps(header).encode("utf-8")
-    buffer.write(len(header_bytes).to_bytes(4, "little"))
-    buffer.write(header_bytes)
-    buffer.write(sketch.counters.astype(np.float64).tobytes())
-    return buffer.getvalue()
+    return _frame(_sketch_header(sketch), [_sketch_section(sketch)])
 
 
 def deserialize_sketch(data: bytes) -> CanonicalSketch:
     """Rebuild a sketch serialized by :func:`serialize_sketch`."""
-    header_length = int.from_bytes(data[:4], "little")
-    header = json.loads(data[4 : 4 + header_length].decode("utf-8"))
-    sketch_cls = _SKETCH_CLASSES.get(header["class"])
-    if sketch_cls is None:
-        raise ValueError("unknown sketch class %r" % (header["class"],))
-    sketch = sketch_cls(
-        header["depth"],
-        header["width"],
-        header["seed"],
-        hash_family=header.get("hash_family", "multiply_shift"),
-    )
-    counters = np.frombuffer(
-        data[4 + header_length :], dtype=np.float64
-    ).reshape(header["depth"], header["width"])
-    sketch.counters = counters.copy()
-    if isinstance(sketch, KArySketch):
-        sketch.total = header.get("total", 0.0)
-    return sketch
+    header, sections = _unframe(data)
+    if header.get("class") in ("NitroSketch", "UnivMon", "NitroUnivMon"):
+        raise ValueError(
+            "frame holds a %s; use deserialize_monitor" % (header["class"],)
+        )
+    return _restore_sketch(header, sections[0] if sections else b"")
+
+
+# ---------------------------------------------------------------------------
+# Component state helpers (TopK / controllers / RNGs).
+# ---------------------------------------------------------------------------
+
+
+def _topk_state(topk: Optional[TopK]) -> Optional[Dict[str, Any]]:
+    if topk is None:
+        return None
+    return {
+        "k": topk.k,
+        # Heap array order *is* behavioral state (lazy invalidation keeps
+        # stale entries); preserve it verbatim, plus dict insertion order.
+        "heap": [[float(est), int(key)] for est, key in topk._heap],
+        "best": [[int(key), float(est)] for key, est in topk._best.items()],
+    }
+
+
+def _restore_topk(state: Optional[Dict[str, Any]]) -> Optional[TopK]:
+    if state is None:
+        return None
+    topk = TopK(int(state["k"]))
+    topk._heap = [(est, int(key)) for est, key in state["heap"]]
+    topk._best = {int(key): est for key, est in state["best"]}
+    return topk
+
+
+def _generator_state(rng: "np.random.Generator") -> Dict[str, Any]:
+    return rng.bit_generator.state
+
+
+def _restore_generator(state: Dict[str, Any]) -> "np.random.Generator":
+    rng = np.random.default_rng()
+    rng.bit_generator.state = state
+    return rng
+
+
+def _config_to_dict(config) -> Dict[str, Any]:
+    return {
+        "probability": config.probability,
+        "mode": config.mode.value,
+        "epsilon": config.epsilon,
+        "delta": config.delta,
+        "top_k": config.top_k,
+        "convergence_check_period": config.convergence_check_period,
+        "adaptation_epoch_seconds": config.adaptation_epoch_seconds,
+        "target_update_rate_mpps": config.target_update_rate_mpps,
+        "sampling": config.sampling,
+        "seed": config.seed,
+    }
+
+
+def _config_from_dict(state: Dict[str, Any]):
+    from repro.core.config import NitroConfig
+
+    return NitroConfig(**state)
+
+
+# ---------------------------------------------------------------------------
+# Monitors.
+# ---------------------------------------------------------------------------
+
+
+def serialize_monitor(monitor) -> bytes:
+    """Serialize any supported monitor to a CRC-checked frame.
+
+    Supported: registered canonical sketches, :class:`NitroSketch`,
+    vanilla :class:`UnivMon` and :class:`NitroUnivMon`.  The round trip
+    is byte-exact: a restored monitor has identical counters, top-k
+    contents, controller state and PRNG cursors, so it replays the rest
+    of the stream exactly like the original would have.
+    """
+    from repro.core.nitro import NitroSketch
+    from repro.core.univmon_nitro import NitroUnivMon
+    from repro.sketches.univmon import UnivMon
+
+    if isinstance(monitor, CanonicalSketch):
+        return serialize_sketch(monitor)
+    if isinstance(monitor, NitroSketch):
+        header: Dict[str, Any] = {
+            "class": "NitroSketch",
+            "config": _config_to_dict(monitor.config),
+            "sketch": _sketch_header(monitor.sketch),
+            "pending": monitor._pending,
+            "packets_seen": monitor.packets_seen,
+            "packets_sampled": monitor.packets_sampled,
+            "sampler": monitor.sampler.getstate(),
+            "batch_rng": _generator_state(monitor._batch_rng),
+            "topk": _topk_state(monitor.topk),
+            "linerate": (
+                monitor.linerate.getstate() if monitor.linerate is not None else None
+            ),
+            "correctness": (
+                monitor.correctness.getstate()
+                if monitor.correctness is not None
+                else None
+            ),
+        }
+        return _frame(header, [_sketch_section(monitor.sketch)])
+    if isinstance(monitor, NitroUnivMon):
+        header = _univmon_header(monitor)
+        header["class"] = "NitroUnivMon"
+        header["config"] = _config_to_dict(monitor.config)
+        header["pending"] = monitor._pending
+        header["packets_sampled"] = monitor._packets_sampled
+        header["sampler"] = monitor.sampler.getstate()
+        header["batch_rng"] = _generator_state(monitor._batch_rng)
+        header["linerate"] = (
+            monitor.linerate.getstate() if monitor.linerate is not None else None
+        )
+        header["correctness"] = (
+            monitor.correctness.getstate() if monitor.correctness is not None else None
+        )
+        return _frame(header, _univmon_sections(monitor))
+    if isinstance(monitor, UnivMon):
+        return _frame(_univmon_header(monitor), _univmon_sections(monitor))
+    raise TypeError("unsupported monitor class %r" % (type(monitor).__name__,))
+
+
+def _univmon_header(monitor) -> Dict[str, Any]:
+    return {
+        "class": "UnivMon",
+        "levels": monitor.levels,
+        "depth": monitor.depth,
+        "k": monitor.k,
+        "seed": monitor.seed,
+        "widths": [unit.sketch.width for unit in monitor.sketches],
+        "total": float(monitor.total),
+        "packets_seen": monitor.packets_seen,
+        "level_topk": [_topk_state(unit.topk) for unit in monitor.sketches],
+    }
+
+
+def _univmon_sections(monitor) -> List[bytes]:
+    return [_sketch_section(unit.sketch) for unit in monitor.sketches]
+
+
+def _restore_univmon_levels(monitor, header, sections) -> None:
+    if len(sections) != monitor.levels:
+        raise ValueError(
+            "level count mismatch: %d sections for %d levels"
+            % (len(sections), monitor.levels)
+        )
+    for unit, state, section in zip(monitor.sketches, header["level_topk"], sections):
+        sketch = unit.sketch
+        expected = sketch.depth * sketch.width * 8
+        if len(section) != expected:
+            raise ValueError(
+                "truncated or corrupt level payload: %d bytes for a %dx%d "
+                "float64 grid (expected %d)"
+                % (len(section), sketch.depth, sketch.width, expected)
+            )
+        sketch.counters = (
+            np.frombuffer(section, dtype=np.float64)
+            .reshape(sketch.depth, sketch.width)
+            .copy()
+        )
+        restored = _restore_topk(state)
+        if restored is not None:
+            unit.topk = restored
+    monitor.total = header["total"]
+    monitor.packets_seen = int(header["packets_seen"])
+
+
+def deserialize_monitor(data: bytes):
+    """Rebuild any monitor serialized by :func:`serialize_monitor`."""
+    from repro.core.nitro import NitroSketch
+    from repro.core.univmon_nitro import NitroUnivMon
+    from repro.sketches.univmon import UnivMon
+
+    header, sections = _unframe(data)
+    class_name = header.get("class")
+
+    if class_name in _SKETCH_CLASSES:
+        return _restore_sketch(header, sections[0] if sections else b"")
+
+    if class_name == "NitroSketch":
+        sketch = _restore_sketch(header["sketch"], sections[0] if sections else b"")
+        config = _config_from_dict(header["config"])
+        monitor = NitroSketch(sketch, config)
+        monitor._pending = int(header["pending"])
+        monitor.packets_seen = int(header["packets_seen"])
+        monitor.packets_sampled = int(header["packets_sampled"])
+        monitor.sampler.setstate(header["sampler"])
+        monitor._batch_rng = _restore_generator(header["batch_rng"])
+        monitor.topk = _restore_topk(header["topk"])
+        if header["linerate"] is not None and monitor.linerate is not None:
+            monitor.linerate.setstate(header["linerate"])
+        if header["correctness"] is not None and monitor.correctness is not None:
+            monitor.correctness.setstate(header["correctness"])
+        return monitor
+
+    if class_name == "UnivMon":
+        monitor = UnivMon(
+            levels=int(header["levels"]),
+            depth=int(header["depth"]),
+            widths=header["widths"],
+            k=int(header["k"]),
+            seed=int(header["seed"]),
+        )
+        _restore_univmon_levels(monitor, header, sections)
+        return monitor
+
+    if class_name == "NitroUnivMon":
+        config = _config_from_dict(header["config"])
+        monitor = NitroUnivMon(
+            levels=int(header["levels"]),
+            depth=int(header["depth"]),
+            widths=header["widths"],
+            k=int(header["k"]),
+            config=config,
+        )
+        _restore_univmon_levels(monitor, header, sections)
+        monitor._pending = int(header["pending"])
+        monitor._packets_sampled = int(header["packets_sampled"])
+        monitor.sampler.setstate(header["sampler"])
+        monitor._batch_rng = _restore_generator(header["batch_rng"])
+        if header["linerate"] is not None and monitor.linerate is not None:
+            monitor.linerate.setstate(header["linerate"])
+        if header["correctness"] is not None and monitor.correctness is not None:
+            monitor.correctness.setstate(header["correctness"])
+        return monitor
+
+    raise ValueError("unknown monitor class %r" % (class_name,))
+
+
+# ---------------------------------------------------------------------------
+# Control link model.
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)

@@ -56,6 +56,14 @@ class ControlPlane:
         is reset, fed the epoch's exact keys, and run against the epoch
         monitor at the boundary -- live per-epoch accuracy auditing with
         no change to the measurement path.
+    checkpoints:
+        Optional :class:`~repro.control.checkpoint.CheckpointManager`.
+        With ``checkpoint_interval > 0`` (epochs) the plane checkpoints
+        each Nth epoch's monitor at the epoch boundary, and
+        :meth:`run_epochs` restores on start: epoch numbering resumes
+        after the newest valid checkpoint's epoch, and the restored
+        monitor is re-seeded into ``monitors`` so change detection can
+        subtract across the restart.
     """
 
     def __init__(
@@ -66,27 +74,61 @@ class ControlPlane:
         keep_monitors: Optional[int] = 2,
         telemetry=NULL_TELEMETRY,
         auditor=None,
+        checkpoints=None,
+        checkpoint_interval: int = 1,
     ) -> None:
         if keep_monitors is not None and keep_monitors < 1:
             raise ValueError("keep_monitors must be >= 1 or None")
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
         self.monitor_factory = monitor_factory
         self.tasks = list(tasks)
         self.score = score
         self.keep_monitors = keep_monitors
         self.telemetry = telemetry
         self.auditor = auditor
+        self.checkpoints = checkpoints
+        self.checkpoint_interval = checkpoint_interval
         #: The most recent per-epoch monitors (bounded by ``keep_monitors``).
         self.monitors: List[object] = []
+
+    def restore_on_start(self) -> int:
+        """Restore the newest valid checkpoint; return the next epoch number.
+
+        Returns 0 (and touches nothing) when checkpointing is disabled
+        or no valid checkpoint exists; otherwise re-seeds ``monitors``
+        with the restored monitor and returns its epoch + 1 so
+        :meth:`run_epochs` resumes numbering where the crashed run left
+        off.
+        """
+        if self.checkpoints is None:
+            return 0
+        restored = self.checkpoints.restore_latest()
+        if restored is None:
+            return 0
+        self.monitors.append(restored.monitor)
+        next_epoch = int(restored.meta.get("epoch", -1)) + 1
+        self.telemetry.event(
+            "control.restored", epoch=next_epoch - 1, sequence=restored.sequence
+        )
+        return next_epoch
 
     def run_epochs(
         self, trace: Trace, epoch_packets: int
     ) -> List[EpochReport]:
-        """Slice the trace into epochs and evaluate all tasks per epoch."""
+        """Slice the trace into epochs and evaluate all tasks per epoch.
+
+        With a :class:`CheckpointManager` attached, restores on start
+        (resuming epoch numbering after the last checkpointed epoch) and
+        checkpoints each ``checkpoint_interval``-th epoch's monitor.
+        """
         if epoch_packets < 1:
             raise ValueError("epoch_packets must be >= 1")
         reports: List[EpochReport] = []
         telemetry = self.telemetry
-        for epoch, start in enumerate(range(0, len(trace), epoch_packets)):
+        first_epoch = self.restore_on_start()
+        for offset, start in enumerate(range(0, len(trace), epoch_packets)):
+            epoch = first_epoch + offset
             stop = min(start + epoch_packets, len(trace))
             epoch_trace = trace.slice(start, stop)
             with telemetry.span("control_epoch_seconds"):
@@ -114,6 +156,20 @@ class ControlPlane:
                     )
                 if self.auditor is not None:
                     self._audit_epoch(monitor, epoch_trace)
+                if (
+                    self.checkpoints is not None
+                    and (offset + 1) % self.checkpoint_interval == 0
+                ):
+                    self.checkpoints.save(
+                        monitor,
+                        meta={"epoch": epoch, "packets": len(epoch_trace)},
+                    )
+                    telemetry.gauge("control_checkpoint_age_epochs", 0)
+                elif self.checkpoints is not None:
+                    telemetry.gauge(
+                        "control_checkpoint_age_epochs",
+                        (offset + 1) % self.checkpoint_interval,
+                    )
                 reports.append(epoch_report)
             telemetry.count("control_epochs_total")
             telemetry.event(

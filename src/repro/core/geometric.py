@@ -76,13 +76,22 @@ class GeometricSampler:
             return np.ones(count, dtype=np.int64)
         self.ops.prng(count)
         self.telemetry.count("nitro_geometric_draws_total", count)
-        uniforms = np.array([self._rng.next_float() for _ in range(count)])
+        uniforms = self._rng.fill_floats(count)
         uniforms = np.clip(uniforms, np.finfo(np.float64).tiny, None)
         return (np.log(uniforms) / self._log1m).astype(np.int64) + 1
 
     def expected_gap(self) -> float:
         """Mean inter-sample gap, ``1/p``."""
         return 1.0 / self._probability
+
+    def getstate(self) -> dict:
+        """Snapshot probability + PRNG cursor (for checkpointing)."""
+        return {"probability": self._probability, "rng": self._rng.getstate()}
+
+    def setstate(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`getstate`; replays identically."""
+        self.set_probability(float(state["probability"]))
+        self._rng.setstate(int(state["rng"]))
 
 
 def geometric_positions(

@@ -49,13 +49,17 @@ class AlwaysLineRateController:
             self._epoch_start = timestamp
             self._epoch_packets = 1
             return None
-        self._epoch_packets += 1
         elapsed = timestamp - self._epoch_start
         if elapsed < self.config.adaptation_epoch_seconds:
+            self._epoch_packets += 1
             return None
+        # The boundary packet opens the next epoch (mirroring how the very
+        # first packet opened the first one); the closing epoch's rate is
+        # the packets that arrived in [start, boundary) over the elapsed
+        # time, so every epoch counts its start packet exactly once.
         rate_mpps = self._epoch_packets / elapsed / 1e6
         self._epoch_start = timestamp
-        self._epoch_packets = 0
+        self._epoch_packets = 1
         new_probability = self.config.probability_for_rate(rate_mpps)
         self.telemetry.count("nitro_epochs_total")
         self.telemetry.event(
@@ -85,6 +89,23 @@ class AlwaysLineRateController:
             self.adjustments.append((None, new_probability))
             return new_probability
         return None
+
+    def getstate(self) -> dict:
+        """Snapshot epoch/rate state (for checkpointing)."""
+        return {
+            "current_probability": self.current_probability,
+            "epoch_start": self._epoch_start,
+            "epoch_packets": self._epoch_packets,
+            "adjustments": [list(item) for item in self.adjustments],
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`getstate`."""
+        self.current_probability = float(state["current_probability"])
+        start = state["epoch_start"]
+        self._epoch_start = None if start is None else float(start)
+        self._epoch_packets = int(state["epoch_packets"])
+        self.adjustments = [tuple(item) for item in state["adjustments"]]
 
 
 class AlwaysCorrectController:
@@ -141,3 +162,18 @@ class AlwaysCorrectController:
             )
             return True
         return False
+
+    def getstate(self) -> dict:
+        """Snapshot convergence progress (for checkpointing)."""
+        return {
+            "converged": self.converged,
+            "converged_at_packet": self.converged_at_packet,
+            "packets": self._packets,
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`getstate`."""
+        self.converged = bool(state["converged"])
+        at = state["converged_at_packet"]
+        self.converged_at_packet = None if at is None else int(at)
+        self._packets = int(state["packets"])

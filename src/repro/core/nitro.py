@@ -397,8 +397,15 @@ class NitroSketch:
         self.packets_seen += other.packets_seen
         self.packets_sampled += other.packets_sampled
         if self.topk is not None and other.topk is not None:
-            for key in other.topk.keys():
-                self.topk.offer(key, self.sketch.query(key))
+            # Re-offer *every* tracked key (ours and theirs) with its
+            # post-merge estimate: our keys' stored estimates predate the
+            # merge, and leaving them stale would let eviction order be
+            # driven by pre-merge counts.
+            tracked = sorted(set(self.topk.keys()) | set(other.topk.keys()))
+            if tracked:
+                estimates = self.sketch.query_batch(np.asarray(tracked))
+                for key, estimate in zip(tracked, estimates.tolist()):
+                    self.topk.offer(int(key), float(estimate))
 
     # -- bookkeeping ----------------------------------------------------------------
 

@@ -46,6 +46,11 @@ TELEMETRY_OVERHEAD_CEILING = 1.10
 #: cost at most this factor versus an unaudited NULL_TELEMETRY run.
 AUDIT_OVERHEAD_CEILING = 1.10
 
+#: Periodic crash-safety checkpoints (serialize + atomic write + fsync)
+#: at the default cadence may cost at most this factor versus a daemon
+#: that never checkpoints.
+CHECKPOINT_OVERHEAD_CEILING = 1.10
+
 
 # -- seed (pre-kernel) reference implementations ---------------------------
 
@@ -362,6 +367,68 @@ def audit_overhead(
         "bare_seconds": bare_seconds,
         "audited_seconds": audited_seconds,
         "ratio": audited_seconds / bare_seconds,
+    }
+
+
+def checkpoint_overhead(
+    scale: float = 1.0,
+    seed: int = 0,
+    repeats: int = 3,
+    chunk: int = 4096,
+    interval: int = 256,
+) -> Dict[str, float]:
+    """Amortized cost of periodic crash-safety checkpoints.
+
+    Feeds a chunked CAIDA-like stream through ``NitroSketch.update_batch``
+    and separately times one full :class:`~repro.control.checkpoint.
+    CheckpointManager` save (serialize + atomic temp-file write + fsync +
+    rename + rotation) of the same monitor.  The checkpointed ingest time
+    is the bare time plus one save per ``interval`` chunks -- the default
+    daemon cadence from ``docs/RECOVERY.md``, roughly one checkpoint per
+    million packets.  The checkpoint cost is strictly additive (the save
+    only reads monitor state between batches), so the sum is the
+    checkpointing daemon's ingest time; the ratio is gated at
+    :data:`CHECKPOINT_OVERHEAD_CEILING` by ``scripts/check_perf.py``.
+
+    The monitor is the deployment shape the chaos harness checkpoints (a
+    5x4096 Count Sketch under 1% sampling), not the Section-7 accuracy
+    shape -- checkpoint bytes scale with the grid, and what the gate
+    protects is the cadence amortization, not the serializer's raw MB/s.
+    """
+    import tempfile
+
+    from repro.control.checkpoint import CheckpointManager
+
+    n = max(10_000, int(200_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    chunks = [keys[start : start + chunk] for start in range(0, len(keys), chunk)]
+
+    nitro = NitroSketch(
+        CountSketch(5, 4096, seed=seed + 81), probability=0.01, top_k=100
+    )
+    manager = CheckpointManager(
+        tempfile.mkdtemp(prefix="nitro-perf-ckpt-"), keep=3
+    )
+
+    def bare_pass():
+        for piece in chunks:
+            nitro.update_batch(piece)
+
+    def save_once():
+        manager.save(nitro)
+
+    bare_seconds = _best_time(bare_pass, max(repeats, 7))
+    save_seconds = _best_time(save_once, max(repeats, 7))
+    saves_per_pass = len(chunks) / interval
+    checkpointed_seconds = bare_seconds + saves_per_pass * save_seconds
+    return {
+        "packets": float(n),
+        "interval_batches": float(interval),
+        "bare_seconds": bare_seconds,
+        "save_seconds": save_seconds,
+        "checkpointed_seconds": checkpointed_seconds,
+        "ratio": checkpointed_seconds / bare_seconds,
     }
 
 

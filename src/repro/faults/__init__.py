@@ -1,0 +1,28 @@
+"""Fault-injection harness for the crash-safety layer.
+
+*An Evaluation of Software Sketches* (Friedman) argues that robustness
+features have to be benchmarked, not assumed.  This package injects the
+failures the checkpoint/restore machinery claims to survive and verifies
+the claims end to end:
+
+* :mod:`repro.faults.inject` -- the primitive faults: truncating or
+  corrupting checkpoint bytes on disk, and a lossy export channel that
+  drops epoch exports;
+* :mod:`repro.faults.chaos` -- scripted inject -> recover -> audit
+  scenarios (kill-daemon-mid-epoch, truncated checkpoint, corrupted
+  checkpoint, dropped exports), each returning a pass/fail verdict; the
+  ``nitrosketch chaos`` CLI subcommand runs them and exits non-zero on
+  any failure.
+"""
+
+from repro.faults.inject import LossyChannel, corrupt_file, truncate_file
+from repro.faults.chaos import ChaosResult, ChaosRunner, run_chaos
+
+__all__ = [
+    "truncate_file",
+    "corrupt_file",
+    "LossyChannel",
+    "ChaosResult",
+    "ChaosRunner",
+    "run_chaos",
+]

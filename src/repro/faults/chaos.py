@@ -1,0 +1,319 @@
+"""Scripted chaos scenarios: inject -> recover -> audit.
+
+Each scenario builds the same monitor the audited demo uses (an
+AlwaysCorrect Nitro Count Sketch over a CAIDA-like trace), injects one
+fault class, drives recovery through the real
+:class:`~repro.control.checkpoint.CheckpointManager` machinery, and then
+*proves* the recovery with the PR-3 accuracy auditors:
+
+* ``kill_recover_audit`` -- kill the daemon mid-epoch (between
+  checkpoints), restore the newest checkpoint into a fresh daemon,
+  verify the restored monitor is byte-identical to a clean replay of
+  the surviving prefix, resume ingest, and check the Theorem 2 bound
+  via :class:`~repro.telemetry.audit.GuaranteeMonitor` on both the
+  surviving mass and the full resumed stream;
+* ``truncate_fallback`` -- truncate the newest checkpoint (torn write):
+  the CRC must reject it and restore must fall back to the previous
+  rotation byte-exactly;
+* ``corrupt_fallback`` -- flip bytes inside the newest checkpoint (bit
+  rot): same contract, caught purely by CRC since the length is intact;
+* ``drop_exports`` -- ship per-epoch exports over a lossy channel:
+  every delivered frame must decode, and every dropped frame must be
+  detectable as a sequence gap.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.control.checkpoint import CheckpointManager
+from repro.control.export import deserialize_monitor, serialize_monitor
+from repro.core.config import NitroConfig, NitroMode
+from repro.core.nitro import NitroSketch
+from repro.faults.inject import LossyChannel, corrupt_file, truncate_file
+from repro.sketches.countsketch import CountSketch
+from repro.switchsim.daemon import MeasurementDaemon
+from repro.telemetry import Telemetry
+from repro.telemetry.audit import GuaranteeMonitor, ShadowAuditor
+from repro.traffic.replay import Replayer
+from repro.traffic.traces import caida_like
+
+
+@dataclass
+class ChaosResult:
+    """One scenario's verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class ChaosRunner:
+    """Runs the chaos scenarios against one working directory.
+
+    Parameters
+    ----------
+    packets / seed:
+        Trace size and seed (every scenario is deterministic in them).
+    directory:
+        Where checkpoint files are written; a temp dir when ``None``.
+    batch_size / checkpoint_interval:
+        Daemon batch granularity and checkpoint cadence (batches).
+    """
+
+    def __init__(
+        self,
+        packets: int = 60_000,
+        seed: int = 7,
+        directory: Optional[str] = None,
+        batch_size: int = 512,
+        checkpoint_interval: int = 8,
+    ) -> None:
+        self.packets = packets
+        self.seed = seed
+        self.directory = directory or tempfile.mkdtemp(prefix="nitro-chaos-")
+        self.batch_size = batch_size
+        self.checkpoint_interval = checkpoint_interval
+        self.trace = caida_like(
+            packets, n_flows=max(200, packets // 20), seed=seed
+        )
+        self.batches = list(
+            Replayer(self.trace, batch_size=batch_size).batches()
+        )
+
+    # -- building blocks ------------------------------------------------------
+
+    def _build_monitor(self) -> NitroSketch:
+        # The audited-demo configuration: loose epsilon so AlwaysCorrect
+        # converges within a smoke-sized trace and the Theorem 2 bound is
+        # comfortably checkable.
+        config = NitroConfig(
+            probability=0.1,
+            epsilon=0.5,
+            mode=NitroMode.ALWAYS_CORRECT,
+            convergence_check_period=1000,
+            top_k=100,
+            seed=self.seed,
+        )
+        return NitroSketch(CountSketch(5, 4096, self.seed), config)
+
+    def _audit(self, monitor, packet_count: int):
+        """Theorem-2 check of ``monitor`` against the trace's first
+        ``packet_count`` packets (the surviving mass)."""
+        auditor = ShadowAuditor(capacity=256, seed=self.seed)
+        guarantee = GuaranteeMonitor(auditor, monitor)
+        auditor.observe_batch(self.trace.keys[:packet_count])
+        return guarantee.check()
+
+    # -- scenarios ------------------------------------------------------------
+
+    def kill_recover_audit(self) -> ChaosResult:
+        """Kill mid-epoch, restore, verify byte-exactness + the bound."""
+        name = "kill_recover_audit"
+        telemetry = Telemetry()
+        manager = CheckpointManager(
+            os.path.join(self.directory, "kill"), keep=3, telemetry=telemetry
+        )
+        daemon = MeasurementDaemon(
+            self._build_monitor(),
+            checkpoints=manager,
+            checkpoint_interval=self.checkpoint_interval,
+            telemetry=telemetry,
+        )
+        # Kill between checkpoints: mid-way through the interval after at
+        # least one checkpoint has been written.
+        kill_at = (
+            (len(self.batches) * 2 // 3) // self.checkpoint_interval
+        ) * self.checkpoint_interval + self.checkpoint_interval // 2
+        if kill_at >= len(self.batches) or kill_at < self.checkpoint_interval:
+            return ChaosResult(name, False, "trace too small to stage a kill")
+        for batch in self.batches[:kill_at]:
+            daemon.ingest(batch)
+        del daemon  # the crash: all in-memory state is gone
+
+        recovered = MeasurementDaemon(
+            self._build_monitor(),
+            checkpoints=manager,
+            checkpoint_interval=self.checkpoint_interval,
+            telemetry=telemetry,
+        )
+        if not recovered.restore_latest():
+            return ChaosResult(name, False, "no checkpoint found after kill")
+        surviving_batches = recovered.batches_ingested
+        surviving_packets = recovered.packets_offered
+
+        # Byte-exactness: a clean replay of the surviving prefix must
+        # serialize to the same bytes as the restored monitor.
+        shadow = MeasurementDaemon(self._build_monitor())
+        for batch in self.batches[:surviving_batches]:
+            shadow.ingest(batch)
+        if serialize_monitor(shadow.monitor) != serialize_monitor(recovered.monitor):
+            return ChaosResult(
+                name, False, "restored monitor diverges from clean replay"
+            )
+
+        # The surviving mass must still satisfy the Theorem 2 bound.
+        report = self._audit(recovered.monitor, surviving_packets)
+        if report.violated:
+            return ChaosResult(
+                name,
+                False,
+                "bound violated on surviving mass (observed %.1f > bound %.1f)"
+                % (report.observed_max_error, report.bound),
+            )
+        surviving_ratio = report.ratio
+
+        # Resume from the checkpoint and finish the trace; the bound must
+        # hold for the full resumed stream too.
+        for batch in self.batches[surviving_batches:]:
+            recovered.ingest(batch)
+        final = self._audit(recovered.monitor, len(self.trace))
+        if final.violated:
+            return ChaosResult(
+                name,
+                False,
+                "bound violated after resumed ingest (observed %.1f > bound %.1f)"
+                % (final.observed_max_error, final.bound),
+            )
+        return ChaosResult(
+            name,
+            True,
+            "killed at batch %d, restored %d batches (%d packets); error/bound "
+            "%.3f surviving, %.3f final"
+            % (
+                kill_at,
+                surviving_batches,
+                surviving_packets,
+                surviving_ratio,
+                final.ratio,
+            ),
+            metrics={
+                "surviving_packets": float(surviving_packets),
+                "surviving_ratio": float(surviving_ratio),
+                "final_ratio": float(final.ratio),
+            },
+        )
+
+    def _fallback_scenario(self, name: str, damage) -> ChaosResult:
+        """Write two checkpoints, damage the newest, require fallback."""
+        telemetry = Telemetry()
+        manager = CheckpointManager(
+            os.path.join(self.directory, name), keep=3, telemetry=telemetry
+        )
+        monitor = self._build_monitor()
+        split = len(self.batches) // 2
+        for batch in self.batches[:split]:
+            monitor.update_batch(batch.keys)
+        good_blob = serialize_monitor(monitor)
+        manager.save(monitor, meta={"batches": split})
+        for batch in self.batches[split:]:
+            monitor.update_batch(batch.keys)
+        newest = manager.save(monitor, meta={"batches": len(self.batches)})
+
+        damage(newest.path)
+        try:
+            manager.load(newest.path)
+            return ChaosResult(name, False, "damaged checkpoint was not rejected")
+        except ValueError:
+            pass  # CRC/validation caught it, as required
+
+        restored = manager.restore_latest()
+        if restored is None:
+            return ChaosResult(name, False, "no fallback checkpoint restored")
+        if restored.sequence != newest.sequence - 1:
+            return ChaosResult(
+                name,
+                False,
+                "expected fallback to sequence %d, got %d"
+                % (newest.sequence - 1, restored.sequence),
+            )
+        if serialize_monitor(restored.monitor) != good_blob:
+            return ChaosResult(name, False, "fallback checkpoint not byte-exact")
+        from repro.telemetry.health import sample_value
+
+        failures = sample_value(
+            telemetry.snapshot(), "checkpoint_restore_failures_total"
+        ) or 0
+        return ChaosResult(
+            name,
+            True,
+            "damaged checkpoint rejected (%d restore failure(s) recorded), "
+            "fell back to sequence %d byte-exactly" % (failures, restored.sequence),
+            metrics={"restore_failures": float(failures)},
+        )
+
+    def truncate_fallback(self) -> ChaosResult:
+        """Torn write: newest checkpoint truncated, CRC must reject it."""
+        return self._fallback_scenario(
+            "truncate_fallback", lambda path: truncate_file(path, fraction=0.6)
+        )
+
+    def corrupt_fallback(self) -> ChaosResult:
+        """Bit rot: bytes flipped in place, only the CRC can catch it."""
+        return self._fallback_scenario(
+            "corrupt_fallback",
+            lambda path: corrupt_file(path, count=8, seed=self.seed),
+        )
+
+    def drop_exports(self) -> ChaosResult:
+        """Lossy epoch exports: survivors decode, gaps are detectable."""
+        name = "drop_exports"
+        channel = LossyChannel(drop_every=3)
+        monitor = self._build_monitor()
+        epoch_size = max(len(self.batches) // 6, 1)
+        for start in range(0, len(self.batches), epoch_size):
+            for batch in self.batches[start : start + epoch_size]:
+                monitor.update_batch(batch.keys)
+            channel.send(serialize_monitor(monitor))
+        if channel.dropped == 0:
+            return ChaosResult(name, False, "channel dropped nothing to test")
+        for sequence, payload in channel.delivered:
+            decoded = deserialize_monitor(payload)
+            if not isinstance(decoded, NitroSketch):
+                return ChaosResult(
+                    name, False, "export %d decoded to wrong type" % sequence
+                )
+        missing = channel.missing_sequences()
+        if len(missing) != channel.dropped:
+            return ChaosResult(
+                name,
+                False,
+                "gap detection missed drops (%d gaps vs %d dropped)"
+                % (len(missing), channel.dropped),
+            )
+        return ChaosResult(
+            name,
+            True,
+            "%d/%d exports dropped, every survivor decoded, gaps %s detected"
+            % (channel.dropped, channel.sent, missing),
+            metrics={"dropped": float(channel.dropped), "sent": float(channel.sent)},
+        )
+
+    # -- driver ---------------------------------------------------------------
+
+    def run_all(self) -> List[ChaosResult]:
+        return [
+            self.kill_recover_audit(),
+            self.truncate_fallback(),
+            self.corrupt_fallback(),
+            self.drop_exports(),
+        ]
+
+
+def run_chaos(
+    packets: int = 60_000,
+    seed: int = 7,
+    directory: Optional[str] = None,
+    quick: bool = False,
+) -> List[ChaosResult]:
+    """Run every scenario; ``quick`` shrinks the trace for CI smoke."""
+    if quick:
+        packets = min(packets, 24_000)
+    runner = ChaosRunner(packets=packets, seed=seed, directory=directory)
+    return runner.run_all()

@@ -1,0 +1,86 @@
+"""Primitive fault injectors.
+
+Every injector is deterministic (seeded) so chaos runs are reproducible
+bit for bit -- a failing scenario can be replayed under a debugger with
+the same bytes flipped.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.hashing.prng import SplitMix64
+
+
+def truncate_file(path: str, fraction: float = 0.5) -> int:
+    """Truncate a file to ``fraction`` of its size (a torn write).
+
+    Returns the new size.  ``fraction`` must be in [0, 1); the CRC at
+    the frame tail is always lost, so any validated reader must reject
+    the result.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1), got %r" % (fraction,))
+    size = os.path.getsize(path)
+    keep = int(size * fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def corrupt_file(path: str, count: int = 8, seed: int = 0) -> List[int]:
+    """Flip ``count`` bytes at deterministic pseudo-random offsets.
+
+    Models bit rot / a bad sector.  Returns the corrupted offsets.  The
+    file keeps its length, so only content validation (CRC) can catch
+    this.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1, got %d" % count)
+    size = os.path.getsize(path)
+    if size == 0:
+        return []
+    rng = SplitMix64(seed ^ 0xFA017)
+    offsets = sorted({rng.next_u64() % size for _ in range(count)})
+    with open(path, "r+b") as handle:
+        for offset in offsets:
+            handle.seek(offset)
+            original = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([original[0] ^ 0xFF]))
+    return offsets
+
+
+class LossyChannel:
+    """An export channel that drops every ``drop_every``-th transfer.
+
+    Models the control link losing epoch exports (the paper ships sketch
+    state over 1 GbE every epoch; UDP-style export loses frames under
+    congestion).  Delivered payloads are kept with their sequence
+    numbers so a receiver can detect gaps.
+    """
+
+    def __init__(self, drop_every: int = 0, seed: int = 0) -> None:
+        if drop_every < 0:
+            raise ValueError("drop_every must be >= 0, got %d" % drop_every)
+        self.drop_every = drop_every
+        self.sent = 0
+        self.dropped = 0
+        #: (sequence, payload) pairs that made it across.
+        self.delivered: List[tuple] = []
+
+    def send(self, payload: bytes) -> bool:
+        """Offer one export; returns True when it was delivered."""
+        sequence = self.sent
+        self.sent += 1
+        if self.drop_every > 0 and sequence % self.drop_every == self.drop_every - 1:
+            self.dropped += 1
+            return False
+        self.delivered.append((sequence, payload))
+        return True
+
+    def missing_sequences(self) -> List[int]:
+        """Sequence numbers the receiver never saw (gap detection)."""
+        received = {sequence for sequence, _ in self.delivered}
+        return [s for s in range(self.sent) if s not in received]

@@ -16,6 +16,10 @@ results are identical across platforms and Python versions.
 
 from __future__ import annotations
 
+from typing import List
+
+import numpy as np
+
 MASK64 = (1 << 64) - 1
 #: Scale factor mapping a 64-bit integer into [0, 1).
 _INV_2_64 = 1.0 / float(1 << 64)
@@ -46,6 +50,99 @@ class SplitMix64:
         while value == 0:
             value = self.next_u64()
         return value
+
+
+_XS_MULTIPLIER = 0x2545F4914F6CDD1D
+
+
+def _xorshift_step_batch(states: "np.ndarray") -> "np.ndarray":
+    """One xorshift64 state transition applied elementwise (uint64 array)."""
+    states = states ^ (states >> np.uint64(12))
+    states = states ^ (states << np.uint64(25))
+    states = states ^ (states >> np.uint64(27))
+    return states
+
+
+#: Lazily built columns of the transition matrices ``T^(2**m)``:
+#: ``_MATRIX_POWERS[m][j] == T^(2**m)(e_j)``.  The xorshift64 transition
+#: is linear over GF(2), so any power of it is a 64x64 bit matrix whose
+#: columns fit in one uint64 each.  Seed-independent, computed once.
+_MATRIX_POWERS: List["np.ndarray"] = []
+
+
+def _matrix_apply(columns: "np.ndarray", vectors: "np.ndarray") -> "np.ndarray":
+    """GF(2) matrix-vector product for a batch: ``M @ v`` per element.
+
+    ``columns[j]`` is column ``j`` of ``M`` packed into a uint64;
+    ``vectors`` is a uint64 array of input states.  The product XORs the
+    columns selected by the set bits of each input.
+    """
+    result = np.zeros_like(vectors)
+    one = np.uint64(1)
+    for j in range(64):
+        bit = (vectors >> np.uint64(j)) & one
+        # bit is 0/1; multiplying selects the column where the bit is set.
+        result ^= bit * columns[j]
+    return result
+
+
+def _matrix_power_columns(m: int) -> "np.ndarray":
+    """Columns of ``T^(2**m)``, built by repeated squaring (cached)."""
+    while len(_MATRIX_POWERS) <= m:
+        if not _MATRIX_POWERS:
+            identity = np.uint64(1) << np.arange(64, dtype=np.uint64)
+            _MATRIX_POWERS.append(_xorshift_step_batch(identity))
+        else:
+            previous = _MATRIX_POWERS[-1]
+            # Columns of M^2 are M applied to M's own columns.
+            _MATRIX_POWERS.append(_matrix_apply(previous, previous))
+    return _MATRIX_POWERS[m]
+
+
+#: Block size for the bulk fill: states advance a whole block at a time
+#: via byte-indexed lookup tables of ``T^_FILL_BLOCK`` (must be 2**k).
+_FILL_BLOCK = 4096
+_FILL_TABLES: List["np.ndarray"] = []
+
+
+def _fill_tables() -> "np.ndarray":
+    """Byte-sliced lookup tables for ``T^_FILL_BLOCK`` (cached).
+
+    ``tables[i][b] == T^B((b << 8*i))``; linearity makes
+    ``T^B(v) == XOR_i tables[i][(v >> 8*i) & 0xFF]`` -- eight gathers
+    instead of a 64-column bit loop per block advance.
+    """
+    if not _FILL_TABLES:
+        columns = _matrix_power_columns(_FILL_BLOCK.bit_length() - 1)
+        byte_values = np.arange(256, dtype=np.uint64)
+        tables = np.empty((8, 256), dtype=np.uint64)
+        for i in range(8):
+            tables[i] = _matrix_apply(columns, byte_values << np.uint64(8 * i))
+        _FILL_TABLES.append(tables)
+    return _FILL_TABLES[0]
+
+
+def _advance_block(tables: "np.ndarray", states: "np.ndarray") -> "np.ndarray":
+    """Apply ``T^_FILL_BLOCK`` elementwise via the byte tables."""
+    mask = np.uint64(0xFF)
+    result = tables[0][states & mask]
+    for i in range(1, 8):
+        result ^= tables[i][(states >> np.uint64(8 * i)) & mask]
+    return result
+
+
+def _states_by_decomposition(state: int, count: int) -> "np.ndarray":
+    """States ``T^1(s), ..., T^count(s)`` via binary decomposition of k."""
+    steps = np.arange(1, count + 1, dtype=np.uint64)
+    states = np.full(count, state, dtype=np.uint64)
+    m = 0
+    while (1 << m) <= count:
+        selected = ((steps >> np.uint64(m)) & np.uint64(1)).astype(bool)
+        if selected.any():
+            columns = _matrix_power_columns(m)
+            states[selected] = _matrix_apply(columns, states[selected])
+        m += 1
+    return states
 
 
 class XorShift64Star(object):
@@ -85,6 +182,50 @@ class XorShift64Star(object):
         if bound <= 0:
             raise ValueError("bound must be positive, got %r" % (bound,))
         return (self.next_u64() * bound) >> 64
+
+    def fill_u64(self, count: int) -> "np.ndarray":
+        """Bulk-draw ``count`` outputs, bit-identical to scalar calls.
+
+        The xorshift64 state transition ``T`` is linear over GF(2), so
+        the state after ``k`` steps is ``T^k`` applied to the current
+        state.  Decomposing every ``k`` in ``1..count`` into powers of
+        two lets one vectorised pass compute all ``count`` states with
+        ``O(log count)`` cached bit-matrix applications instead of
+        ``count`` Python-level steps -- and leaves the generator in
+        exactly the state ``count`` scalar :meth:`next_u64` calls would.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative, got %d" % count)
+        if count == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if count <= _FILL_BLOCK:
+            states = _states_by_decomposition(self._state, count)
+        else:
+            # Seed one block by decomposition, then jump whole blocks:
+            # applying T^B elementwise to states (k+1 .. k+B) yields
+            # states (k+B+1 .. k+2B) in eight table gathers.
+            states = np.empty(count, dtype=np.uint64)
+            block = _states_by_decomposition(self._state, _FILL_BLOCK)
+            states[:_FILL_BLOCK] = block
+            tables = _fill_tables()
+            pos = _FILL_BLOCK
+            while pos < count:
+                block = _advance_block(tables, block)
+                take = min(_FILL_BLOCK, count - pos)
+                states[pos:pos + take] = block[:take]
+                pos += take
+        self._state = int(states[-1])
+        with np.errstate(over="ignore"):
+            return states * np.uint64(_XS_MULTIPLIER)
+
+    def fill_floats(self, count: int) -> "np.ndarray":
+        """Bulk :meth:`next_float`: ``count`` uniforms in [0, 1).
+
+        Element-for-element identical to ``count`` scalar calls: the
+        uint64 -> float64 conversion and the ``2**-64`` scaling both
+        round exactly the way the scalar path's Python floats do.
+        """
+        return self.fill_u64(count).astype(np.float64) * _INV_2_64
 
     def getstate(self) -> int:
         """Return the internal state (for checkpointing)."""

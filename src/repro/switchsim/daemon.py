@@ -75,6 +75,12 @@ class MeasurementDaemon:
         monitor, and the backlog is exported as a ``daemon_queue_depth``
         gauge for the ``queue_depth`` health rule.  ``0`` (default)
         means no queue; :meth:`ingest` stays synchronous either way.
+    checkpoints:
+        Optional :class:`~repro.control.checkpoint.CheckpointManager`.
+        With ``checkpoint_interval > 0`` the daemon checkpoints its
+        monitor every that many ingested batches; the distance to the
+        last checkpoint is exported as ``daemon_checkpoint_age_batches``
+        for the ``checkpoint_staleness`` health rule.
     """
 
     def __init__(
@@ -86,6 +92,8 @@ class MeasurementDaemon:
         telemetry=NULL_TELEMETRY,
         auditor=None,
         queue_capacity: int = 0,
+        checkpoints=None,
+        checkpoint_interval: int = 0,
     ) -> None:
         self.monitor = monitor
         self.mode = mode
@@ -104,6 +112,16 @@ class MeasurementDaemon:
         self._queue: list = []
         self.batches_dropped = 0
         self.packets_offered = 0
+        if checkpoint_interval < 0:
+            raise ValueError(
+                "checkpoint_interval must be >= 0, got %d" % checkpoint_interval
+            )
+        if checkpoint_interval > 0 and checkpoints is None:
+            raise ValueError("checkpoint_interval set but no CheckpointManager given")
+        self.checkpoints = checkpoints
+        self.checkpoint_interval = checkpoint_interval
+        self.batches_ingested = 0
+        self._batches_since_checkpoint = 0
         # Probe both call signatures once up front (as for ``update``'s
         # timestamp) so ingest never wraps the monitor in a try/except
         # that would also swallow TypeErrors raised *inside* it.
@@ -125,6 +143,60 @@ class MeasurementDaemon:
         if self.auditor is not None:
             self.auditor.observe_batch(batch.keys)
         telemetry.record_ops(self.ops, component=self.name)
+        self.batches_ingested += 1
+        self._batches_since_checkpoint += 1
+        if (
+            self.checkpoints is not None
+            and self.checkpoint_interval > 0
+            and self._batches_since_checkpoint >= self.checkpoint_interval
+        ):
+            self.checkpoint()
+        elif self.checkpoints is not None:
+            telemetry.gauge(
+                "daemon_checkpoint_age_batches",
+                self._batches_since_checkpoint,
+                daemon=self.name,
+            )
+
+    def checkpoint(self):
+        """Checkpoint the monitor now; returns the written Checkpoint."""
+        if self.checkpoints is None:
+            raise RuntimeError("daemon has no CheckpointManager")
+        written = self.checkpoints.save(
+            self.monitor,
+            meta={
+                "daemon": self.name,
+                "packets_offered": self.packets_offered,
+                "batches_ingested": self.batches_ingested,
+            },
+        )
+        self._batches_since_checkpoint = 0
+        self.telemetry.gauge(
+            "daemon_checkpoint_age_batches", 0, daemon=self.name
+        )
+        return written
+
+    def restore_latest(self) -> bool:
+        """Swap in the monitor from the newest valid checkpoint.
+
+        Returns True when a checkpoint was restored (the daemon's
+        ``packets_offered``/``batches_ingested`` resume from its meta);
+        False when none exists and state is left untouched.
+        """
+        if self.checkpoints is None:
+            raise RuntimeError("daemon has no CheckpointManager")
+        restored = self.checkpoints.restore_latest()
+        if restored is None:
+            return False
+        self.monitor = restored.monitor
+        if hasattr(self.monitor, "ops"):
+            self.monitor.ops = self.ops
+        if hasattr(self.monitor, "telemetry"):
+            self.monitor.telemetry = self.telemetry
+        self.packets_offered = int(restored.meta.get("packets_offered", 0))
+        self.batches_ingested = int(restored.meta.get("batches_ingested", 0))
+        self._batches_since_checkpoint = 0
+        return True
 
     # -- opt-in bounded queue (separate-thread FIFO model) ------------------
 

@@ -107,6 +107,10 @@ class MultiCoreSimulator:
         shards = self.shard(trace)
         per_core: List[SimulationResult] = []
         for core, shard in enumerate(shards):
+            if len(shard) == 0:
+                # Skip before constructing anything: a daemon built here
+                # would register telemetry for a core that never runs.
+                continue
             daemon = self.daemon_factory(core) if self.daemon_factory else None
             simulator = SwitchSimulator(
                 self.pipeline_factory(core),
@@ -114,11 +118,9 @@ class MultiCoreSimulator:
                 cost_model=self.cost_model,
                 nic=self.nic,
             )
-            if len(shard) == 0:
-                continue
-            per_core.append(
-                simulator.run(shard, batch_size=batch_size, offered_gbps=None)
-            )
+            result = simulator.run(shard, batch_size=batch_size, offered_gbps=None)
+            result.core = core
+            per_core.append(result)
         # Offered rate of the undivided stream at the requested wire rate.
         from repro.traffic.replay import Replayer
 

@@ -52,6 +52,10 @@ class SimulationResult:
     sketch_cpu_share: float
     switch_breakdown: CycleBreakdown
     sketch_breakdown: CycleBreakdown
+    #: Core id when produced by :class:`~repro.switchsim.multicore.
+    #: MultiCoreSimulator` (empty shards are skipped, so ``per_core``
+    #: list positions do not track core ids); ``None`` for single-core runs.
+    core: Optional[int] = None
 
     def summary(self) -> Dict[str, float]:
         """The headline numbers as a flat dict (report rows)."""

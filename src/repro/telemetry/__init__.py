@@ -94,6 +94,14 @@ METRIC_HELP: Dict[str, str] = {
     "audit_guarantee_violations": "Cumulative violations (gauge; 0 = checked and clean).",
     "daemon_queue_depth": "Batches waiting in the measurement daemon's ingest queue.",
     "health_status": "Health rule verdicts: 0 = ok, 1 = warn, 2 = fail.",
+    "checkpoint_writes_total": "Monitor checkpoints written to disk.",
+    "checkpoint_bytes_total": "Cumulative checkpoint bytes written.",
+    "checkpoint_restores_total": "Successful checkpoint restores.",
+    "checkpoint_restore_failures_total": "Checkpoint files rejected (CRC/format) on restore.",
+    "checkpoint_last_sequence": "Sequence number of the newest checkpoint written.",
+    "checkpoint_size_bytes": "Size of the newest checkpoint frame.",
+    "daemon_checkpoint_age_batches": "Batches ingested since the daemon's last checkpoint.",
+    "control_checkpoint_age_epochs": "Epochs since the control plane's last checkpoint.",
 }
 
 

@@ -29,7 +29,10 @@ story makes possible:
   without ever crossing (the stream is too small or too uniform for the
   configured epsilon);
 * ``queue_depth`` -- the measurement daemon's ingest queue is backing
-  up (separate-thread integration falling behind the switch).
+  up (separate-thread integration falling behind the switch);
+* ``checkpoint_staleness`` -- a checkpointing daemon has gone too long
+  without a successful checkpoint, or restores are hitting corrupt
+  files (crash-safety margin eroding).
 """
 
 from __future__ import annotations
@@ -242,6 +245,46 @@ class QueueDepthRule(HealthRule):
         return self._ok("queue depth %d" % int(depth), depth)
 
 
+class CheckpointStalenessRule(HealthRule):
+    """A checkpointing deployment must keep its checkpoints fresh.
+
+    Watches ``daemon_checkpoint_age_batches`` (distance, in ingested
+    batches, to the last successful checkpoint) and the restore-failure
+    counter: a stale checkpoint widens the window of state a crash
+    loses, and restore failures mean rotations are burning down.
+    """
+
+    name = "checkpoint_staleness"
+
+    def __init__(self, warn_age: int = 64, fail_age: int = 256) -> None:
+        if not 0 < warn_age <= fail_age:
+            raise ValueError("need 0 < warn_age <= fail_age")
+        self.warn_age = warn_age
+        self.fail_age = fail_age
+
+    def evaluate(self, snap: Dict) -> RuleResult:
+        age = sample_value(snap, "daemon_checkpoint_age_batches")
+        if age is None:
+            age = sample_value(snap, "control_checkpoint_age_epochs")
+        failures = sample_value(snap, "checkpoint_restore_failures_total")
+        if age is None and failures is None:
+            return self._ok("checkpointing not enabled")
+        if failures:
+            return self._warn(
+                "%d checkpoint(s) failed validation on restore" % int(failures),
+                failures,
+            )
+        if age is None:
+            return self._ok("no checkpoint age gauge yet")
+        if age >= self.fail_age:
+            return self._fail(
+                "last checkpoint %d batch(es) ago (stale)" % int(age), age
+            )
+        if age >= self.warn_age:
+            return self._warn("last checkpoint %d batch(es) ago" % int(age), age)
+        return self._ok("last checkpoint %d batch(es) ago" % int(age), age)
+
+
 def default_rules(
     error_slo: float = 0.05, component: str = "audit"
 ) -> List[HealthRule]:
@@ -252,6 +295,7 @@ def default_rules(
         ProbabilityFloorRule(),
         ConvergenceRule(),
         QueueDepthRule(),
+        CheckpointStalenessRule(),
     ]
 
 

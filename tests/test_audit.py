@@ -416,6 +416,7 @@ class TestHealthEndpoint:
                 "p_floor",
                 "convergence",
                 "queue_depth",
+                "checkpoint_staleness",
             }
             # Force a failing verdict: 503 with the same JSON schema.
             telemetry.gauge(

@@ -158,3 +158,41 @@ class TestMultiCore:
     def test_core_validation(self):
         with pytest.raises(ValueError):
             MultiCoreSimulator(lambda core: OVSDPDKPipeline(), cores=0)
+
+
+class TestMultiCoreShardEdgeCases:
+    def test_empty_shards_skipped_and_core_ids_carried(self):
+        from repro.traffic.traces import Trace
+
+        # One flow -> RSS lands every packet on a single core; the other
+        # three shards are empty and must be skipped without building
+        # daemons for cores that never run.
+        packets = 2000
+        trace = Trace(
+            name="single-flow",
+            keys=np.full(packets, 1234, dtype=np.int64),
+            sizes=np.full(packets, 64, dtype=np.int32),
+            timestamps=np.arange(packets, dtype=np.float64) * 1e-6,
+        )
+        built = []
+
+        def daemon_factory(core):
+            built.append(core)
+            return MeasurementDaemon(
+                nitro_countsketch(probability=0.05, seed=5),
+                IntegrationMode.ALL_IN_ONE,
+            )
+
+        simulator = MultiCoreSimulator(
+            lambda core: OVSDPDKPipeline(), daemon_factory=daemon_factory, cores=4
+        )
+        result = simulator.run(trace)
+        assert len(result.per_core) == 1
+        assert result.per_core[0].core == built[0]
+        assert built == [result.per_core[0].core]
+
+    def test_core_ids_label_every_result(self):
+        trace = caida_like(20000, n_flows=3000, seed=6)
+        simulator = MultiCoreSimulator(lambda core: OVSDPDKPipeline(), cores=3)
+        result = simulator.run(trace)
+        assert sorted(r.core for r in result.per_core) == [0, 1, 2]

@@ -129,3 +129,38 @@ class TestGeometricPositions:
             assert positions.min() >= 0
             assert positions.max() < slots
             assert np.all(np.diff(positions) >= 1)
+
+
+class TestGapsBatchBitIdentity:
+    """The vectorised batch path must replay the scalar draw stream."""
+
+    @pytest.mark.parametrize("probability", [0.03, 0.2, 0.7])
+    def test_gaps_batch_matches_scalar_draws(self, probability):
+        scalar = GeometricSampler(probability, seed=21)
+        expected = [scalar.next_gap() for _ in range(6000)]
+        batch = GeometricSampler(probability, seed=21)
+        assert batch.gaps_batch(6000).tolist() == expected
+        # Both consumed the same PRNG stream, so the cursors agree and
+        # the *next* draw agrees too.
+        assert batch.getstate() == scalar.getstate()
+        assert batch.next_gap() == scalar.next_gap()
+
+    def test_interleaved_scalar_and_batch(self):
+        reference = GeometricSampler(0.1, seed=4)
+        expected = [reference.next_gap() for _ in range(900)]
+        mixed = GeometricSampler(0.1, seed=4)
+        got = [mixed.next_gap() for _ in range(100)]
+        got += mixed.gaps_batch(500).tolist()
+        got += [mixed.next_gap() for _ in range(100)]
+        got += mixed.gaps_batch(200).tolist()
+        assert got == expected
+
+    def test_state_roundtrip(self):
+        sampler = GeometricSampler(0.25, seed=8)
+        sampler.gaps_batch(137)
+        snapshot = sampler.getstate()
+        expected = sampler.gaps_batch(50).tolist()
+        replayed = GeometricSampler(0.5, seed=999)
+        replayed.setstate(snapshot)
+        assert replayed.probability == 0.25
+        assert replayed.gaps_batch(50).tolist() == expected

@@ -214,3 +214,50 @@ class TestConfigValidation:
     def test_recommended_width_validation(self):
         with pytest.raises(ValueError):
             NitroConfig().recommended_width("l3")
+
+
+class TestEpochAccounting:
+    def test_constant_rate_counts_every_epoch_exactly(self):
+        """Regression: every epoch counts its opening packet exactly once.
+
+        With packets exactly 1/1024 s apart and 0.125 s epochs (both
+        exact in binary floating point), every epoch spans exactly 128
+        packets; the boundary packet opens the next epoch.  The old
+        accounting dropped the boundary packet from both epochs, so
+        each epoch under-counted by one and the measured rate skewed
+        low.
+        """
+        from repro.telemetry import Telemetry
+
+        config = NitroConfig(
+            probability=0.5,
+            mode=NitroMode.ALWAYS_LINE_RATE,
+            adaptation_epoch_seconds=0.125,
+        )
+        controller = AlwaysLineRateController(config)
+        controller.telemetry = Telemetry()
+        spacing = 1.0 / 1024.0
+        for i in range(3 * 128 + 50):
+            controller.on_packet(i * spacing)
+        events = controller.telemetry.tracer.events("nitro.epoch")
+        assert len(events) == 3
+        expected_rate = 128 / 0.125 / 1e6
+        assert [event.fields["rate_mpps"] for event in events] == [expected_rate] * 3
+        # The in-flight epoch holds its opening (boundary) packet plus
+        # the 49 that followed.
+        assert controller.getstate()["epoch_packets"] == 50
+
+    def test_state_roundtrip(self):
+        config = NitroConfig(
+            probability=0.25,
+            mode=NitroMode.ALWAYS_LINE_RATE,
+            adaptation_epoch_seconds=0.125,
+        )
+        source = AlwaysLineRateController(config)
+        for i in range(300):
+            source.on_packet(i / 1024.0)
+        clone = AlwaysLineRateController(config)
+        clone.setstate(source.getstate())
+        for i in range(300, 600):
+            assert clone.on_packet(i / 1024.0) == source.on_packet(i / 1024.0)
+        assert clone.getstate() == source.getstate()

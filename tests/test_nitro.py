@@ -235,3 +235,22 @@ class TestMergeAndWeights:
             true_bytes[key] = true_bytes.get(key, 0) + size
         top = max(true_bytes, key=true_bytes.get)
         assert nitro.query(int(top)) == pytest.approx(true_bytes[top], rel=0.12)
+
+
+class TestMergeTopKRefresh:
+    def test_merge_refreshes_tracked_estimates(self):
+        """Post-merge top-k estimates come from the merged grid, not the
+        stale pre-merge offers, so eviction order follows true counts."""
+        config = dict(probability=1.0, top_k=2, seed=3)
+        a = NitroSketch(CountMinSketch(3, 512, 3), NitroConfig(**config))
+        b = NitroSketch(CountMinSketch(3, 512, 3), NitroConfig(**config))
+        a.update_batch(np.repeat([1, 2], [10, 3]))
+        b.update_batch(np.repeat(np.int64(2), 5))
+        a.merge(b)
+        assert a.topk.estimate(2) == a.sketch.query(2)
+        assert a.topk.estimate(1) == a.sketch.query(1)
+        assert a.topk.min_estimate() == min(a.sketch.query(1), a.sketch.query(2))
+        # A newcomer below the refreshed minimum (but above the stale
+        # pre-merge one) must NOT evict a tracked key.
+        assert not a.topk.offer(9, a.topk.min_estimate() - 1.0)
+        assert set(a.topk.keys()) == {1, 2}

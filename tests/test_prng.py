@@ -98,3 +98,41 @@ class TestXorShift64Star:
         ones = sum(bin(rng.next_u64()).count("1") for _ in range(2000))
         # ~32 bits set on average out of 64.
         assert abs(ones / 2000 - 32) < 1.0
+
+
+class TestXorShiftBulkFill:
+    """fill_u64/fill_floats must be bit-identical to scalar draws."""
+
+    @pytest.mark.parametrize("count", [1, 7, 63, 4095, 4096, 4097, 10_000])
+    def test_fill_u64_matches_scalar(self, count):
+        import numpy as np
+
+        scalar = XorShift64Star(99)
+        expected = [scalar.next_u64() for _ in range(count)]
+        vector = XorShift64Star(99)
+        outputs = vector.fill_u64(count)
+        assert outputs.dtype == np.uint64
+        assert outputs.tolist() == expected
+        # The generator lands in the exact state scalar draws leave.
+        assert vector.getstate() == scalar.getstate()
+
+    def test_fill_u64_continuation(self):
+        scalar = XorShift64Star(12345)
+        expected = [scalar.next_u64() for _ in range(9000)]
+        vector = XorShift64Star(12345)
+        got = vector.fill_u64(5000).tolist() + vector.fill_u64(4000).tolist()
+        assert got == expected
+
+    def test_fill_u64_zero_and_negative(self):
+        rng = XorShift64Star(1)
+        before = rng.getstate()
+        assert rng.fill_u64(0).size == 0
+        assert rng.getstate() == before
+        with pytest.raises(ValueError):
+            rng.fill_u64(-1)
+
+    def test_fill_floats_matches_scalar(self):
+        scalar = XorShift64Star(5)
+        expected = [scalar.next_float() for _ in range(2000)]
+        vector = XorShift64Star(5)
+        assert vector.fill_floats(2000).tolist() == expected
