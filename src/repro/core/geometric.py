@@ -15,6 +15,7 @@ stream, and degrades gracefully to "every slot" at ``p = 1``.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -33,10 +34,23 @@ class GeometricSampler:
     def __init__(self, probability: float, seed: int = 0) -> None:
         self.ops = NULL_OPS
         self.telemetry = NULL_TELEMETRY
+        self._seed = seed
         self._rng = XorShift64Star(seed or 0x9E3779B97F4A7C15)
         self._log1m: float = 0.0
         self._probability: float = 1.0
         self.set_probability(probability)
+
+    def reset(self, probability: Optional[float] = None) -> None:
+        """Reseed the PRNG to its initial cursor (and optionally reset ``p``).
+
+        After ``reset`` the sampler replays exactly the gap sequence a
+        freshly-constructed sampler with the same seed would draw --
+        the contract :meth:`NitroSketch.reset` relies on for
+        reset-equals-fresh equivalence.
+        """
+        self._rng = XorShift64Star(self._seed or 0x9E3779B97F4A7C15)
+        if probability is not None:
+            self.set_probability(probability)
 
     @property
     def probability(self) -> float:

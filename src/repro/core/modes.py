@@ -38,7 +38,26 @@ class AlwaysLineRateController:
         self.telemetry = NULL_TELEMETRY
         self._epoch_start: Optional[float] = None
         self._epoch_packets = 0
+        # Batch-path epoch accumulators: packets and wall-clock time
+        # gathered since the last batch-granularity epoch closed.
+        self._batch_packets = 0
+        self._batch_elapsed = 0.0
         #: History of (timestamp, probability) adjustments, for inspection.
+        self.adjustments = []
+
+    def reset(self) -> None:
+        """Return to the freshly-constructed state (config retained).
+
+        :meth:`NitroSketch.reset` calls this so the controller's
+        ``current_probability`` snaps back to ``config.probability``
+        together with the sampler -- leaving it stale would let the
+        no-change short-circuit strand the sketch at the wrong ``p``.
+        """
+        self.current_probability = self.config.probability
+        self._epoch_start = None
+        self._epoch_packets = 0
+        self._batch_packets = 0
+        self._batch_elapsed = 0.0
         self.adjustments = []
 
     def on_packet(self, timestamp: Optional[float]) -> Optional[float]:
@@ -75,10 +94,23 @@ class AlwaysLineRateController:
         return None
 
     def on_batch(self, packet_count: int, duration_seconds: float) -> Optional[float]:
-        """Batch-granularity adaptation: rate = packets / duration."""
+        """Batch-granularity adaptation with epoch discipline.
+
+        Packets and wall-clock time accumulate across batches; the rate
+        is evaluated (and one ``nitro.epoch`` event emitted) only once
+        ``adaptation_epoch_seconds`` has elapsed, mirroring the 100 ms
+        epochs of :meth:`on_packet`.  Sub-epoch batches therefore no
+        longer produce one noisy rate estimate each.
+        """
         if duration_seconds <= 0 or packet_count <= 0:
             return None
-        rate_mpps = packet_count / duration_seconds / 1e6
+        self._batch_packets += packet_count
+        self._batch_elapsed += duration_seconds
+        if self._batch_elapsed < self.config.adaptation_epoch_seconds:
+            return None
+        rate_mpps = self._batch_packets / self._batch_elapsed / 1e6
+        self._batch_packets = 0
+        self._batch_elapsed = 0.0
         new_probability = self.config.probability_for_rate(rate_mpps)
         self.telemetry.count("nitro_epochs_total")
         self.telemetry.event(
@@ -96,6 +128,8 @@ class AlwaysLineRateController:
             "current_probability": self.current_probability,
             "epoch_start": self._epoch_start,
             "epoch_packets": self._epoch_packets,
+            "batch_packets": self._batch_packets,
+            "batch_elapsed": self._batch_elapsed,
             "adjustments": [list(item) for item in self.adjustments],
         }
 
@@ -105,6 +139,10 @@ class AlwaysLineRateController:
         start = state["epoch_start"]
         self._epoch_start = None if start is None else float(start)
         self._epoch_packets = int(state["epoch_packets"])
+        # Absent in pre-epoch-discipline checkpoints; default to a fresh
+        # accumulator so old blobs keep restoring.
+        self._batch_packets = int(state.get("batch_packets", 0))
+        self._batch_elapsed = float(state.get("batch_elapsed", 0.0))
         self.adjustments = [tuple(item) for item in state["adjustments"]]
 
 
@@ -124,6 +162,12 @@ class AlwaysCorrectController:
         self.telemetry = NULL_TELEMETRY
         self.converged = False
         self.converged_at_packet: Optional[int] = None
+        self._packets = 0
+
+    def reset(self) -> None:
+        """Restart the warm-up (the sketch reference and threshold stay)."""
+        self.converged = False
+        self.converged_at_packet = None
         self._packets = 0
 
     def on_packet(self) -> bool:

@@ -89,6 +89,11 @@ class NitroSketch:
             self.correctness = AlwaysCorrectController(config, sketch)
             self.sampler.set_probability(1.0)
         self._telemetry = NULL_TELEMETRY
+        #: Optional callable invoked as ``hook(self)`` after every
+        #: :meth:`update_batch`.  The verify harness installs one that
+        #: raises on any :meth:`check_invariants` violation; ``None``
+        #: (the default) costs a single attribute test per batch.
+        self.invariant_hook = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -261,6 +266,16 @@ class NitroSketch:
         Top-k offers still happen for every packet that received at least
         one sampled row update.
         """
+        self._update_batch_impl(keys, weights, duration_seconds)
+        if self.invariant_hook is not None:
+            self.invariant_hook(self)
+
+    def _update_batch_impl(
+        self,
+        keys: "np.ndarray",
+        weights: Optional["np.ndarray"],
+        duration_seconds: Optional[float],
+    ) -> None:
         keys = np.asarray(keys)
         count = len(keys)
         if count == 0:
@@ -407,6 +422,61 @@ class NitroSketch:
                 for key, estimate in zip(tracked, estimates.tolist()):
                     self.topk.offer(int(key), float(estimate))
 
+    # -- invariants ---------------------------------------------------------------
+
+    def check_invariants(self) -> List[str]:
+        """Cross-component coherence checks; returns violation strings.
+
+        Pull-based: nothing on the data plane calls this unless an
+        :attr:`invariant_hook` is installed, so the disabled overhead is
+        one attribute test per batch.  Checks (docs/VERIFICATION.md):
+
+        * ``packets_sampled <= packets_seen`` and a non-negative skip
+          cursor;
+        * sampler/controller/config ``p`` coherence -- the sampler must
+          agree with AlwaysLineRate's ``current_probability``, with
+          AlwaysCorrect's phase (1.0 unconverged, ``config.probability``
+          after), or with the fixed configured ``p``;
+        * the wrapped sketch's own invariants (finite counters, K-ary
+          mass conservation) and the top-k heap/dict consistency.
+        """
+        violations: List[str] = []
+        if self.packets_sampled > self.packets_seen:
+            violations.append(
+                "nitro: packets_sampled %d exceeds packets_seen %d"
+                % (self.packets_sampled, self.packets_seen)
+            )
+        if self._pending < 0:
+            violations.append("nitro: negative pending slot skip %d" % self._pending)
+        probability = self.sampler.probability
+        if self.linerate is not None:
+            if probability != self.linerate.current_probability:
+                violations.append(
+                    "nitro: sampler p=%g desynced from AlwaysLineRate "
+                    "controller p=%g" % (probability, self.linerate.current_probability)
+                )
+        elif self.correctness is not None:
+            expected = 1.0 if not self.correctness.converged else self.config.probability
+            if probability != expected:
+                violations.append(
+                    "nitro: sampler p=%g but AlwaysCorrect (%s) implies p=%g"
+                    % (
+                        probability,
+                        "converged" if self.correctness.converged else "warm-up",
+                        expected,
+                    )
+                )
+        elif probability != self.config.probability:
+            violations.append(
+                "nitro: fixed-mode sampler p=%g != config p=%g"
+                % (probability, self.config.probability)
+            )
+        if hasattr(self.sketch, "check_invariants"):
+            violations.extend(self.sketch.check_invariants())
+        if self.topk is not None:
+            violations.extend(self.topk.check_invariants())
+        return violations
+
     # -- bookkeeping ----------------------------------------------------------------
 
     def memory_bytes(self) -> int:
@@ -416,16 +486,28 @@ class NitroSketch:
         return total
 
     def reset(self) -> None:
-        """Clear counters, top-k and mode state (keeps hashes and config)."""
+        """Clear counters, top-k and mode state (keeps hashes and config).
+
+        The contract is reset-equals-fresh: after ``reset`` the monitor
+        behaves bit-identically to a newly built ``NitroSketch`` with the
+        same config and seed -- PRNG cursors are reseeded and every
+        controller (including AlwaysLineRate's ``current_probability``,
+        epoch accumulators and adjustment history) returns to its
+        constructed state.  The statements mirror ``__init__`` order so
+        the same number of gap draws is consumed in every mode.
+        """
         self.sketch.reset()
         if self.topk is not None:
             self.topk.reset()
         self.packets_seen = 0
         self.packets_sampled = 0
+        self.sampler.reset(self.config.probability)
+        self._pending = self.sampler.next_gap() - 1
+        self._batch_rng = np.random.default_rng(self.config.seed ^ 0xB5B5B5B5)
+        if self.linerate is not None:
+            self.linerate.reset()
         if self.correctness is not None:
-            self.correctness = AlwaysCorrectController(self.config, self.sketch)
-            self.correctness.telemetry = self._telemetry
+            self.correctness.reset()
             self._set_probability(1.0, "reset")
         else:
             self._set_probability(self.config.probability, "reset")
-        self._pending = self.sampler.next_gap() - 1

@@ -244,13 +244,17 @@ class NitroUnivMon(UnivMon):
         return super().memory_bytes()
 
     def reset(self) -> None:
+        """Reset-equals-fresh, mirroring ``__init__`` order (see
+        :meth:`NitroSketch.reset`): PRNG cursors reseed and every
+        controller -- including AlwaysLineRate's ``current_probability``
+        -- returns to its constructed state."""
         super().reset()
         self._packets_sampled = 0
-        if self.correctness is not None:
-            self.correctness = AlwaysCorrectController(
-                self.config, self.sketches[0].sketch
-            )
-            self.sampler.set_probability(1.0)
-        else:
-            self.sampler.set_probability(self.config.probability)
+        self.sampler.reset(self.config.probability)
         self._pending = self.sampler.next_gap() - 1
+        self._batch_rng = np.random.default_rng(self.config.seed ^ 0x7A7A7A7A)
+        if self.linerate is not None:
+            self.linerate.reset()
+        if self.correctness is not None:
+            self.correctness.reset()
+            self.sampler.set_probability(1.0)

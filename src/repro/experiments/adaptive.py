@@ -35,7 +35,14 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     the same probabilities.
     """
     epoch_packets = max(1000, int(20000 * scale))
-    epoch_seconds = 0.1
+    # Each simulated batch spans epoch_packets / rate seconds of wall
+    # clock.  The controller accumulates sub-epoch batches before
+    # evaluating a rate, so size the adaptation epoch to the *shortest*
+    # batch (the peak-rate phase): every batch then closes at least one
+    # full epoch with its own rate, and a longer epoch would blend
+    # rates across consecutive phases.
+    peak_mpps = max(rate for _, rate, _ in LOAD_PATTERN)
+    epoch_seconds = epoch_packets / (peak_mpps * 1e6)
     config = NitroConfig(
         probability=1.0,
         mode=NitroMode.ALWAYS_LINE_RATE,

@@ -51,6 +51,11 @@ AUDIT_OVERHEAD_CEILING = 1.10
 #: that never checkpoints.
 CHECKPOINT_OVERHEAD_CEILING = 1.10
 
+#: The *disabled* invariant hook (one ``is not None`` attribute test per
+#: ``update_batch`` call) may cost at most this factor versus calling
+#: the batch implementation directly with no hook dispatch at all.
+VERIFY_OVERHEAD_CEILING = 1.05
+
 
 # -- seed (pre-kernel) reference implementations ---------------------------
 
@@ -429,6 +434,61 @@ def checkpoint_overhead(
         "save_seconds": save_seconds,
         "checkpointed_seconds": checkpointed_seconds,
         "ratio": checkpointed_seconds / bare_seconds,
+    }
+
+
+def verify_overhead(
+    scale: float = 1.0, seed: int = 0, repeats: int = 3, chunk: int = 4096
+) -> Dict[str, float]:
+    """Cost of the dormant invariant hook on ``NitroSketch.update_batch``.
+
+    The verify harness hangs its per-batch invariant checks off
+    ``nitro.invariant_hook``; when no hook is installed (production
+    default) the only residue is the wrapper's ``is not None`` test.
+    This times the same chunked CAIDA-like ingest twice -- through the
+    public ``update_batch`` wrapper and through ``_update_batch_impl``
+    directly -- and returns the ratio, which ``scripts/check_perf.py``
+    gates at :data:`VERIFY_OVERHEAD_CEILING`.
+
+    The two variants are timed in alternating rounds (best-of each)
+    rather than in two sequential blocks, so machine-load drift during
+    the run moves both numerators alike instead of biasing the ratio.
+    """
+    n = max(10_000, int(200_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    chunks = [keys[start : start + chunk] for start in range(0, len(keys), chunk)]
+
+    def build():
+        return NitroSketch(
+            CountSketch(DEPTH, WIDTH, seed=seed + 71), probability=0.01, top_k=100
+        )
+
+    direct_nitro = build()
+    hooked_nitro = build()
+
+    def direct_pass():
+        for piece in chunks:
+            direct_nitro._update_batch_impl(piece, None, None)
+
+    def hooked_pass():
+        for piece in chunks:
+            hooked_nitro.update_batch(piece)
+
+    # Warm-up round (hash caches, allocator, branch predictors), then
+    # interleaved best-of timing.
+    direct_pass()
+    hooked_pass()
+    direct_seconds = float("inf")
+    hooked_seconds = float("inf")
+    for _ in range(max(repeats, 9)):
+        direct_seconds = min(direct_seconds, _best_time(direct_pass, 1))
+        hooked_seconds = min(hooked_seconds, _best_time(hooked_pass, 1))
+    return {
+        "packets": float(n),
+        "direct_seconds": direct_seconds,
+        "hooked_seconds": hooked_seconds,
+        "ratio": hooked_seconds / direct_seconds,
     }
 
 

@@ -311,6 +311,27 @@ class CanonicalSketch(Sketch):
         sums = sorted(self.row_sum_of_squares(row) for row in range(self.depth))
         return sums[(self.depth - 1) // 2]
 
+    def check_invariants(self) -> List[str]:
+        """Structural self-checks; returns violation strings.
+
+        The base contract is shape and finiteness of the counter grid;
+        subclasses that keep derived state (K-ary's stream-mass total)
+        extend this with their own conservation checks.  Pull-based --
+        nothing on the data plane calls it unless a verify hook does.
+        """
+        violations: List[str] = []
+        if self.counters.shape != (self.depth, self.width):
+            violations.append(
+                "%s: counter grid shape %r != (%d, %d)"
+                % (type(self).__name__, self.counters.shape, self.depth, self.width)
+            )
+        if not np.all(np.isfinite(self.counters)):
+            violations.append(
+                "%s: %d non-finite counter(s)"
+                % (type(self).__name__, int(np.sum(~np.isfinite(self.counters))))
+            )
+        return violations
+
     def memory_bytes(self) -> int:
         # 4-byte counters in the C implementation; report that footprint so
         # memory figures are comparable with the paper's configurations.

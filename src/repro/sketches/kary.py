@@ -105,6 +105,26 @@ class KArySketch(CanonicalSketch):
         diff.total = self.total - other.total
         return diff
 
+    def check_invariants(self) -> List[str]:
+        """Mass conservation on top of the base structural checks.
+
+        Every update path (scalar ``row_update``, the fused batch kernel
+        plus :meth:`note_batch_mass`, merges and differences) must keep
+        ``total == sum(counters) / depth`` -- each row absorbs the full
+        stream mass, and ``total`` accumulates a ``1/depth`` share per
+        row touch.  A drifting total silently biases every mean-corrected
+        estimate.
+        """
+        violations = super().check_invariants()
+        counter_mass = float(np.sum(self.counters)) / self.depth
+        tolerance = 1e-6 * max(1.0, abs(counter_mass))
+        if abs(self.total - counter_mass) > tolerance:
+            violations.append(
+                "kary: tracked total %.9g != counter mass %.9g (tol %.3g)"
+                % (self.total, counter_mass, tolerance)
+            )
+        return violations
+
     def reset(self) -> None:
         super().reset()
         self.total = 0.0

@@ -19,12 +19,19 @@ from typing import Dict, Iterator, List, Tuple
 from repro.metrics.opcount import NULL_OPS
 
 
+#: Heap-size bound as a multiple of ``k``: once stale entries push the
+#: heap past this, it is rebuilt from the live membership dict.
+COMPACT_FACTOR = 4
+
+
 class TopK:
     """Min-heap keyed store of the ``k`` (approximately) largest flows.
 
     Entries are lazily invalidated: re-offering a key pushes a fresh heap
     entry and marks the old one stale, which keeps offers O(log k) without
-    a decrease-key primitive.
+    a decrease-key primitive.  Stale entries cannot accumulate without
+    bound: whenever the heap exceeds ``COMPACT_FACTOR * k`` entries it is
+    compacted back to the live ``<= k`` set (amortised O(1) per offer).
     """
 
     def __init__(self, k: int) -> None:
@@ -56,13 +63,13 @@ class TopK:
             if estimate <= current:
                 return True
             self._best[key] = estimate
-            heapq.heappush(self._heap, (estimate, key))
+            self._push(key, estimate)
             self.ops.heap_op()
             return True
 
         if len(self._best) < self.k:
             self._best[key] = estimate
-            heapq.heappush(self._heap, (estimate, key))
+            self._push(key, estimate)
             self.ops.heap_op()
             return True
 
@@ -74,9 +81,21 @@ class TopK:
         _, evicted = self._pop_valid()
         del self._best[evicted]
         self._best[key] = estimate
-        heapq.heappush(self._heap, (estimate, key))
+        self._push(key, estimate)
         self.ops.heap_op(2)
         return True
+
+    def _push(self, key: int, estimate: float) -> None:
+        """Push a live entry, compacting if stale entries piled up."""
+        heapq.heappush(self._heap, (estimate, key))
+        if len(self._heap) > COMPACT_FACTOR * self.k:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from the live entries, dropping stale ones."""
+        self._heap = [(estimate, key) for key, estimate in self._best.items()]
+        heapq.heapify(self._heap)
+        self.ops.heap_op()
 
     def _peek_valid(self) -> Tuple[float, int]:
         """Return the smallest non-stale heap entry without removing it."""
@@ -116,6 +135,35 @@ class TopK:
         if not self._best:
             return 0.0
         return self._peek_valid()[0]
+
+    def check_invariants(self) -> List[str]:
+        """Heap/dict consistency checks; returns violation strings.
+
+        * at most ``k`` tracked keys;
+        * the heap never outgrows ``COMPACT_FACTOR * k`` entries (the
+          compaction bound -- lazy invalidation alone grows without it);
+        * every tracked key's current estimate has a live heap entry, so
+          :meth:`min_estimate` / eviction can always find it.
+        """
+        violations: List[str] = []
+        if len(self._best) > self.k:
+            violations.append(
+                "topk: tracking %d keys, capacity k=%d" % (len(self._best), self.k)
+            )
+        if len(self._heap) > COMPACT_FACTOR * self.k:
+            violations.append(
+                "topk: heap holds %d entries, compaction bound %d"
+                % (len(self._heap), COMPACT_FACTOR * self.k)
+            )
+        live = {
+            key for estimate, key in self._heap if self._best.get(key) == estimate
+        }
+        missing = len(self._best) - len(live)
+        if missing:
+            violations.append(
+                "topk: %d tracked key(s) have no live heap entry" % missing
+            )
+        return violations
 
     def memory_bytes(self) -> int:
         """Rough footprint: heap entries + dict entries at 16 B each."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 import inspect
-from typing import Optional
+from typing import List, Optional
 
 from repro.metrics.opcount import OpCounter
 from repro.telemetry import NULL_TELEMETRY
@@ -272,11 +272,45 @@ class MeasurementDaemon:
             return self.monitor.memory_bytes()
         return 0
 
+    def check_invariants(self) -> List[str]:
+        """Ingest-accounting coherence checks; returns violation strings."""
+        violations: List[str] = []
+        if self.queue_capacity > 0 and len(self._queue) > self.queue_capacity:
+            violations.append(
+                "daemon %s: queue depth %d exceeds capacity %d"
+                % (self.name, len(self._queue), self.queue_capacity)
+            )
+        if self._batches_since_checkpoint > self.batches_ingested:
+            violations.append(
+                "daemon %s: %d batches since checkpoint but only %d ingested"
+                % (self.name, self._batches_since_checkpoint, self.batches_ingested)
+            )
+        if (
+            self.checkpoint_interval > 0
+            and self._batches_since_checkpoint > self.checkpoint_interval
+        ):
+            violations.append(
+                "daemon %s: checkpoint overdue (%d batches since, interval %d)"
+                % (self.name, self._batches_since_checkpoint, self.checkpoint_interval)
+            )
+        if hasattr(self.monitor, "check_invariants"):
+            violations.extend(self.monitor.check_invariants())
+        return violations
+
     def reset(self) -> None:
+        """Return the daemon (and its monitor) to the pre-ingest state.
+
+        Also rewinds ``batches_ingested`` and the checkpoint cadence
+        counter -- leaving them at pre-reset values made a reset daemon
+        checkpoint on the wrong schedule and report stale meta counters
+        in every subsequent checkpoint.
+        """
         self.ops.reset()
         self.packets_offered = 0
         self._queue.clear()
         self.batches_dropped = 0
+        self.batches_ingested = 0
+        self._batches_since_checkpoint = 0
         if hasattr(self.monitor, "reset"):
             self.monitor.reset()
         if self.auditor is not None and hasattr(self.auditor, "reset"):

@@ -1,0 +1,29 @@
+"""Differential + statistical correctness harness (docs/VERIFICATION.md).
+
+The vanilla sketch is the oracle: every accelerated ingest path (scalar
+sampling, fused batches, checkpoint restore, shard merges) must agree
+with it bit-exactly where deterministic and within the Theorem-2
+``eps * L2`` envelope where randomized, while the sampling process
+itself must match its closed-form statistics (unbiasedness, sampled
+fraction, geometric gaps) and the stack's cross-component invariants
+must hold under load.  ``nitrosketch selfcheck [--quick]`` runs it all.
+"""
+
+from repro.verify.differential import implied_epsilon, run_differential_checks
+from repro.verify.harness import SUITES, run_selfcheck
+from repro.verify.invariants import install_strict_hook, run_invariant_checks
+from repro.verify.result import CheckResult, InvariantViolation, VerifyReport
+from repro.verify.statistical import run_statistical_checks
+
+__all__ = [
+    "CheckResult",
+    "InvariantViolation",
+    "VerifyReport",
+    "SUITES",
+    "run_selfcheck",
+    "run_differential_checks",
+    "run_statistical_checks",
+    "run_invariant_checks",
+    "install_strict_hook",
+    "implied_epsilon",
+]

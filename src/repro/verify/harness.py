@@ -1,0 +1,55 @@
+"""The selfcheck harness: run every verification suite, one report.
+
+``nitrosketch selfcheck`` is this module behind a CLI: it runs the
+differential suite (every ingest path vs the vanilla oracle), the
+statistical suite (the sampling process vs its closed-form math) and the
+invariant scenarios (internal coherence under load), and exits non-zero
+on the first report with a failure.  ``quick`` scales packet counts down
+for CI smoke jobs; ``seed`` derandomises everything for reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.verify.differential import run_differential_checks
+from repro.verify.invariants import run_invariant_checks
+from repro.verify.result import CheckResult, VerifyReport
+from repro.verify.statistical import run_statistical_checks
+
+#: The registered suites, in the order a report lists them.
+SUITES: List[Tuple[str, Callable[..., List[CheckResult]]]] = [
+    ("differential", run_differential_checks),
+    ("statistical", run_statistical_checks),
+    ("invariant", run_invariant_checks),
+]
+
+
+def run_selfcheck(
+    quick: bool = False,
+    seed: int = 0,
+    suites: Optional[List[str]] = None,
+    on_result: Optional[Callable[[CheckResult], None]] = None,
+) -> VerifyReport:
+    """Run the verification suites and return the aggregate report.
+
+    ``suites`` restricts the run to the named suites (default: all);
+    ``on_result`` is called with each :class:`CheckResult` as it lands,
+    which is how the CLI streams per-check PASS/FAIL lines.
+    """
+    selected = set(suites) if suites is not None else None
+    unknown = (selected or set()) - {name for name, _ in SUITES}
+    if unknown:
+        raise ValueError(
+            "unknown suite(s) %s; available: %s"
+            % (sorted(unknown), [name for name, _ in SUITES])
+        )
+    report = VerifyReport()
+    for name, runner in SUITES:
+        if selected is not None and name not in selected:
+            continue
+        for result in runner(quick=quick, seed=seed):
+            report.add(result)
+            if on_result is not None:
+                on_result(result)
+    return report

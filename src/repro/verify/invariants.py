@@ -1,0 +1,289 @@
+"""Invariant scenarios: drive the stack and assert internal coherence.
+
+Each scenario exercises one mode/component with the strict
+:func:`install_strict_hook` invariant hook armed, so *any* batch that
+leaves the monitor internally incoherent -- sampler/controller ``p``
+desync, ``packets_sampled > packets_seen``, K-ary mass leakage, an
+unbounded top-k heap -- surfaces as a named violation at the batch that
+caused it rather than as a mysteriously wrong estimate later.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import List
+
+import numpy as np
+
+from repro.control.checkpoint import CheckpointManager
+from repro.core.config import NitroConfig, NitroMode
+from repro.core.nitro import NitroSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.kary import KArySketch
+from repro.sketches.topk import COMPACT_FACTOR, TopK
+from repro.switchsim.daemon import MeasurementDaemon
+from repro.traffic.replay import Replayer
+from repro.traffic.traces import caida_like
+from repro.verify.result import CheckResult, InvariantViolation
+
+
+def install_strict_hook(monitor) -> None:
+    """Arm ``monitor.invariant_hook`` to raise on the first violation."""
+
+    def hook(checked) -> None:
+        violations = checked.check_invariants()
+        if violations:
+            raise InvariantViolation("; ".join(violations))
+
+    monitor.invariant_hook = hook
+
+
+def _scenario(name: str, detail: str, body) -> CheckResult:
+    """Run ``body`` (returning violation strings) as one CheckResult."""
+    try:
+        violations = body()
+    except InvariantViolation as exc:
+        return CheckResult.fail(name, str(exc))
+    if violations:
+        return CheckResult.fail(name, "; ".join(violations))
+    return CheckResult.ok(name, detail)
+
+
+def check_fixed_mode(packets: int = 6_000, seed: int = 0) -> CheckResult:
+    """Fixed-p ingest (mixed scalar/batch) stays coherent per batch."""
+
+    def body() -> List[str]:
+        trace = caida_like(packets, n_flows=300, seed=seed)
+        monitor = NitroSketch(
+            CountSketch(5, 512, seed),
+            NitroConfig(probability=0.1, top_k=32, seed=seed),
+        )
+        install_strict_hook(monitor)
+        third = len(trace.keys) // 3
+        monitor.update_batch(trace.keys[:third])
+        for key in trace.keys[third : 2 * third].tolist():
+            monitor.update(key)
+        monitor.update_batch(trace.keys[2 * third :])
+        return monitor.check_invariants()
+
+    return _scenario(
+        "invariant.fixed_mode",
+        "fixed-p mixed scalar/batch ingest coherent after every batch",
+        body,
+    )
+
+
+def check_linerate_coherence(packets: int = 6_000, seed: int = 0) -> CheckResult:
+    """Sampler and AlwaysLineRate ``p`` agree through adapt and reset.
+
+    The adapt-then-reset-then-reuse sequence is exactly where a stale
+    ``current_probability`` desyncs the controller from the reseeded
+    sampler; the ``p``-coherence invariant names it.
+    """
+
+    def body() -> List[str]:
+        trace = caida_like(packets, n_flows=300, seed=seed)
+        monitor = NitroSketch(
+            CountSketch(5, 512, seed),
+            NitroConfig(
+                probability=0.5,
+                mode=NitroMode.ALWAYS_LINE_RATE,
+                adaptation_epoch_seconds=0.0005,
+                top_k=32,
+                seed=seed,
+            ),
+        )
+        install_strict_hook(monitor)
+
+        def drive() -> List[str]:
+            # ~3.33 Mpps offered: adaptation pulls p below the 0.5 start
+            # (mid-rung, so float drift cannot flip the snapped rung).
+            for index, key in enumerate(trace.keys.tolist()):
+                monitor.update(key, timestamp=index * 3e-7)
+                if index % 500 == 0:
+                    violations = monitor.check_invariants()
+                    if violations:
+                        return violations
+            return monitor.check_invariants()
+
+        violations = drive()
+        if violations:
+            return violations
+        if monitor.probability >= 0.5:
+            return ["linerate scenario never adapted below the starting p"]
+        monitor.reset()
+        violations = monitor.check_invariants()
+        if violations:
+            return ["post-reset: " + v for v in violations]
+        return drive()
+
+    return _scenario(
+        "invariant.linerate_coherence",
+        "sampler p tracks AlwaysLineRate through adapt, reset and reuse",
+        body,
+    )
+
+
+def check_always_correct_coherence(seed: int = 0) -> CheckResult:
+    """``p`` honours the AlwaysCorrect phase on both sides of convergence."""
+
+    def body() -> List[str]:
+        monitor = NitroSketch(
+            CountSketch(5, 2048, seed),
+            NitroConfig(
+                probability=0.1,
+                mode=NitroMode.ALWAYS_CORRECT,
+                epsilon=0.5,
+                convergence_check_period=1_000,
+                top_k=32,
+                seed=seed,
+            ),
+        )
+        install_strict_hook(monitor)
+        keys = np.full(1_000, 7, dtype=np.int64)
+        for _ in range(3):
+            monitor.update_batch(keys)
+            violations = monitor.check_invariants()
+            if violations:
+                return violations
+        if not monitor.converged:
+            return ["always-correct scenario never converged"]
+        if monitor.probability != 0.1:
+            return [
+                "post-convergence p=%g, expected config p=0.1" % monitor.probability
+            ]
+        return monitor.check_invariants()
+
+    return _scenario(
+        "invariant.always_correct_coherence",
+        "p pinned to 1.0 through warm-up and released to config p on convergence",
+        body,
+    )
+
+
+def check_kary_mass(packets: int = 6_000, seed: int = 0) -> CheckResult:
+    """K-ary's tracked total equals counter mass under every update path.
+
+    ``total == sum(counters) / depth`` is what makes K-ary's
+    estimate-adjustment unbiased; ``note_batch_mass`` (the Nitro batch
+    path's bulk accounting) must preserve it exactly like scalar
+    ``row_update`` does.
+    """
+
+    def body() -> List[str]:
+        trace = caida_like(packets, n_flows=300, seed=seed)
+        vanilla = KArySketch(5, 512, seed)
+        half = len(trace.keys) // 2
+        for key in trace.keys[:half].tolist():
+            vanilla.update(key)
+        vanilla.update_batch(trace.keys[half:])
+        violations = vanilla.check_invariants()
+        if violations:
+            return ["vanilla: " + v for v in violations]
+
+        monitor = NitroSketch(
+            KArySketch(5, 512, seed),
+            NitroConfig(probability=0.1, top_k=0, seed=seed),
+        )
+        install_strict_hook(monitor)
+        monitor.update_batch(trace.keys[:half])
+        for key in trace.keys[half:].tolist():
+            monitor.update(key)
+        return ["nitro: " + v for v in monitor.check_invariants()]
+
+    return _scenario(
+        "invariant.kary_mass",
+        "k-ary mass conserved under scalar, batch and note_batch_mass paths",
+        body,
+    )
+
+
+def check_topk_bound(k: int = 16, offers: int = 5_000) -> CheckResult:
+    """Adversarial re-offers keep the top-k heap within its bound.
+
+    Re-offering the *tracked* keys with ever-growing estimates is the
+    worst case: no eviction ever runs, so nothing lazily pops stale
+    entries and only compaction can bound the heap.  It must hold
+    ``len(_heap) <= 4k`` while the tracked dict stays consistent.
+    """
+
+    def body() -> List[str]:
+        topk = TopK(k)
+        for index in range(offers):
+            topk.offer(index % k, float(index))
+        violations = topk.check_invariants()
+        if len(topk._heap) > COMPACT_FACTOR * k:
+            violations.append(
+                "heap grew to %d entries (bound %d) after %d re-offers"
+                % (len(topk._heap), COMPACT_FACTOR * k, offers)
+            )
+        return violations
+
+    return _scenario(
+        "invariant.topk_bound",
+        "top-k heap stays within %dx k under %d adversarial re-offers"
+        % (COMPACT_FACTOR, offers),
+        body,
+    )
+
+
+def check_daemon_reset(seed: int = 0) -> CheckResult:
+    """A reset daemon restarts ingest accounting and checkpoint cadence.
+
+    With ``checkpoint_interval = 3``, two batches, a reset and two more
+    batches must write *no* checkpoint -- stale ``batches_ingested`` /
+    cadence counters would fire one early and stamp pre-reset totals
+    into its meta.
+    """
+
+    def body() -> List[str]:
+        trace = caida_like(2_000, n_flows=100, seed=seed)
+        batches = list(Replayer(trace, batch_size=500).batches())
+        with tempfile.TemporaryDirectory() as directory:
+            daemon = MeasurementDaemon(
+                NitroSketch(
+                    CountSketch(5, 512, seed),
+                    NitroConfig(probability=0.1, top_k=16, seed=seed),
+                ),
+                checkpoints=CheckpointManager(directory),
+                checkpoint_interval=3,
+            )
+            for batch in batches[:2]:
+                daemon.ingest(batch)
+            daemon.reset()
+            violations = daemon.check_invariants()
+            if violations:
+                return ["post-reset: " + v for v in violations]
+            if daemon.batches_ingested != 0 or daemon.packets_offered != 0:
+                return [
+                    "reset left batches_ingested=%d packets_offered=%d"
+                    % (daemon.batches_ingested, daemon.packets_offered)
+                ]
+            for batch in batches[:2]:
+                daemon.ingest(batch)
+            if daemon.checkpoints.latest_sequence() is not None:
+                return [
+                    "daemon checkpointed %d batches after reset "
+                    "(interval 3): cadence counter survived the reset"
+                    % daemon.batches_ingested
+                ]
+            return daemon.check_invariants()
+
+    return _scenario(
+        "invariant.daemon_reset",
+        "daemon reset rewinds ingest accounting and checkpoint cadence",
+        body,
+    )
+
+
+def run_invariant_checks(quick: bool = False, seed: int = 0) -> List[CheckResult]:
+    """The full invariant-scenario suite (scaled down under ``quick``)."""
+    packets = 3_000 if quick else 6_000
+    return [
+        check_fixed_mode(packets=packets, seed=seed),
+        check_linerate_coherence(packets=packets, seed=seed),
+        check_always_correct_coherence(seed=seed),
+        check_kary_mass(packets=packets, seed=seed),
+        check_topk_bound(offers=2_000 if quick else 5_000),
+        check_daemon_reset(seed=seed),
+    ]

@@ -1,0 +1,64 @@
+"""Check results for the differential/statistical/invariant harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class InvariantViolation(AssertionError):
+    """Raised by a strict invariant hook when a data-plane check fails."""
+
+
+@dataclass
+class CheckResult:
+    """One verification check's verdict.
+
+    ``name`` is hierarchical (``differential.checkpoint_roundtrip``,
+    ``statistical.unbiasedness``, ``invariant.p_coherence``); ``detail``
+    names the violation when ``passed`` is False and summarises the
+    evidence when True; ``metrics`` carries the measured quantities for
+    reports and debugging.
+    """
+
+    name: str
+    passed: bool
+    detail: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def ok(cls, name: str, detail: str, **metrics: float) -> "CheckResult":
+        return cls(name, True, detail, dict(metrics))
+
+    @classmethod
+    def fail(cls, name: str, detail: str, **metrics: float) -> "CheckResult":
+        return cls(name, False, detail, dict(metrics))
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate of one selfcheck run."""
+
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [result for result in self.results if not result.passed]
+
+    def add(self, result: CheckResult) -> CheckResult:
+        self.results.append(result)
+        return result
+
+    def summary(self) -> str:
+        failed = len(self.failures)
+        return "%d/%d check(s) passed%s" % (
+            len(self.results) - failed,
+            len(self.results),
+            "" if not failed else "; FAILED: %s" % ", ".join(
+                result.name for result in self.failures
+            ),
+        )

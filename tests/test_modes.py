@@ -261,3 +261,85 @@ class TestEpochAccounting:
         for i in range(300, 600):
             assert clone.on_packet(i / 1024.0) == source.on_packet(i / 1024.0)
         assert clone.getstate() == source.getstate()
+
+
+class TestBatchEpochDiscipline:
+    def _controller(self, probability=0.01, epoch=0.1):
+        config = NitroConfig(
+            probability=probability,
+            mode=NitroMode.ALWAYS_LINE_RATE,
+            adaptation_epoch_seconds=epoch,
+        )
+        return AlwaysLineRateController(config)
+
+    def test_sub_epoch_batches_accumulate(self):
+        """Regression: sub-epoch batches must accumulate into one epoch
+        instead of producing one noisy rate evaluation each."""
+        from repro.telemetry import Telemetry
+
+        controller = self._controller()
+        controller.telemetry = Telemetry()
+        # Three 40 ms batches: the first two sit inside the open epoch.
+        assert controller.on_batch(1_000, 0.04) is None
+        assert controller.on_batch(1_000, 0.04) is None
+        assert len(controller.telemetry.tracer.events("nitro.epoch")) == 0
+        # The third crosses 100 ms: one epoch, rate 3000/0.12 = 25 kpps,
+        # which maps to p = 1.0 (far below the 0.625 Mpps budget).
+        assert controller.on_batch(1_000, 0.04) == 1.0
+        events = controller.telemetry.tracer.events("nitro.epoch")
+        assert len(events) == 1
+        assert events[0].fields["rate_mpps"] == pytest.approx(0.025)
+        # The accumulators restart with the new epoch.
+        state = controller.getstate()
+        assert state["batch_packets"] == 0
+        assert state["batch_elapsed"] == 0.0
+
+    def test_epoch_count_matches_elapsed_time(self):
+        from repro.telemetry import Telemetry
+
+        controller = self._controller()
+        controller.telemetry = Telemetry()
+        for _ in range(120):
+            controller.on_batch(1_000, 0.01)
+        events = controller.telemetry.tracer.events("nitro.epoch")
+        # 1.2 s of accumulated batch time over 0.1 s epochs; float
+        # accumulation can stretch an epoch by one 10 ms batch, so 10-12
+        # epochs close -- far from the 120 the per-batch bug produced.
+        assert 10 <= len(events) <= 12
+
+    def test_batch_accumulator_state_roundtrip(self):
+        source = self._controller()
+        source.on_batch(1_000, 0.04)  # mid-epoch
+        clone = self._controller()
+        clone.setstate(source.getstate())
+        for _ in range(4):
+            assert clone.on_batch(1_000, 0.04) == source.on_batch(1_000, 0.04)
+        assert clone.getstate() == source.getstate()
+
+    def test_setstate_accepts_pre_accumulator_checkpoints(self):
+        """Old checkpoints have no batch accumulator keys; they restore
+        with fresh accumulators instead of raising."""
+        source = self._controller()
+        state = source.getstate()
+        del state["batch_packets"]
+        del state["batch_elapsed"]
+        clone = self._controller()
+        clone.setstate(state)
+        assert clone.getstate()["batch_packets"] == 0
+        assert clone.getstate()["batch_elapsed"] == 0.0
+
+    def test_reset_restores_constructed_state(self):
+        """Regression: reset must clear ``current_probability`` and the
+        epoch/batch accumulators, or the no-change short-circuit strands
+        a reset sketch at the stale p."""
+        controller = self._controller(probability=0.5)
+        controller.on_packet(0.0)
+        # 4 Mpps: 0.625 / 4 sits between rungs, snapping down to 1/8.
+        assert controller.on_batch(400_000, 0.1) == 1 / 8
+        controller.on_batch(1_000, 0.04)  # leave a partial epoch behind
+        controller.reset()
+        fresh = self._controller(probability=0.5)
+        assert controller.current_probability == 0.5
+        assert controller.getstate() == fresh.getstate()
+        # Post-reset adaptation behaves exactly like a fresh controller's.
+        assert controller.on_batch(400_000, 0.1) == 1 / 8

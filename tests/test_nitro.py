@@ -254,3 +254,78 @@ class TestMergeTopKRefresh:
         # pre-merge one) must NOT evict a tracked key.
         assert not a.topk.offer(9, a.topk.min_estimate() - 1.0)
         assert set(a.topk.keys()) == {1, 2}
+
+
+class TestResetEqualsFresh:
+    def test_fixed_mode_reset_equals_fresh(self):
+        """After reset, re-ingesting a trace must be bit-identical to a
+        fresh monitor: PRNG cursors reseed, so the same gap sequence and
+        batch draws replay."""
+        keys = zipf_keys(4000, 300, 1.1, seed=21)
+        fresh = make_nitro(probability=0.1, width=1024, seed=21, top_k=16)
+        recycled = make_nitro(probability=0.1, width=1024, seed=21, top_k=16)
+        recycled.update_batch(keys[::-1].copy())  # arbitrary pre-reset history
+        recycled.update_many(keys[:100].tolist())
+        recycled.reset()
+
+        half = len(keys) // 2
+        for monitor in (fresh, recycled):
+            monitor.update_batch(keys[:half])
+            monitor.update_many(keys[half:].tolist())
+
+        assert np.array_equal(fresh.sketch.counters, recycled.sketch.counters)
+        assert fresh.packets_seen == recycled.packets_seen
+        assert fresh.packets_sampled == recycled.packets_sampled
+        assert set(fresh.topk.keys()) == set(recycled.topk.keys())
+        assert recycled.check_invariants() == []
+
+    def test_linerate_reset_resyncs_controller(self):
+        """Regression: reset must restore AlwaysLineRate's
+        ``current_probability`` alongside the sampler -- a stale value let
+        the no-change short-circuit strand the sampler at config p while
+        the controller believed the adapted p was still in force."""
+        config_kwargs = dict(
+            probability=0.5,
+            width=1024,
+            seed=22,
+            mode=NitroMode.ALWAYS_LINE_RATE,
+            adaptation_epoch_seconds=0.0005,
+        )
+        keys = zipf_keys(6000, 300, 1.1, seed=22)
+
+        def drive(monitor):
+            # ~3.33 Mpps: p adapts from 0.5 down to 1/8 within the trace.
+            for index, key in enumerate(keys.tolist()):
+                monitor.update(int(key), timestamp=index * 3e-7)
+
+        fresh = make_nitro(**config_kwargs)
+        drive(fresh)
+        assert fresh.probability == 1 / 8
+
+        recycled = make_nitro(**config_kwargs)
+        drive(recycled)
+        recycled.reset()
+        assert recycled.probability == 0.5
+        assert recycled.linerate.current_probability == 0.5
+        assert recycled.check_invariants() == []
+        drive(recycled)
+        assert recycled.probability == fresh.probability
+        assert np.array_equal(fresh.sketch.counters, recycled.sketch.counters)
+        assert fresh.packets_sampled == recycled.packets_sampled
+
+    def test_always_correct_reset_restarts_warmup(self):
+        nitro = make_nitro(
+            probability=0.1,
+            width=2048,
+            seed=23,
+            mode=NitroMode.ALWAYS_CORRECT,
+            epsilon=0.5,
+            convergence_check_period=1000,
+        )
+        nitro.update_batch(np.full(3000, 7, dtype=np.int64))
+        assert nitro.converged
+        nitro.reset()
+        assert not nitro.converged
+        assert nitro.probability == 1.0  # back in the exact warm-up phase
+        assert nitro.correctness.converged_at_packet is None
+        assert nitro.check_invariants() == []

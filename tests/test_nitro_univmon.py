@@ -123,9 +123,15 @@ class TestModes:
         nitro = make(
             probability=1.0, levels=6, seed=12, mode=NitroMode.ALWAYS_LINE_RATE
         )
-        # 10 Mpps offered -> ladder sets p to 1/16.
-        nitro.update_batch(np.arange(1_000_00), duration_seconds=0.01)
-        assert nitro.probability < 1.0
+        # 8 Mpps offered in 10 ms batches: adaptation waits for a full
+        # 100 ms epoch to accumulate, then the ladder sets p to 1/16
+        # (0.625 / 8 = 0.078, mid-rung so float drift cannot flip it).
+        for _ in range(9):
+            nitro.update_batch(np.arange(80_000), duration_seconds=0.01)
+            assert nitro.probability == 1.0  # epoch still open
+        for _ in range(2):
+            nitro.update_batch(np.arange(80_000), duration_seconds=0.01)
+        assert nitro.probability == 1 / 16
 
 
 class TestFactoryAndLifecycle:

@@ -277,3 +277,39 @@ class TestDaemonAndSimulator:
         daemon.reset()
         assert daemon.packets_offered == 0
         assert daemon.ops.packets == 0
+
+
+class TestDaemonReset:
+    def test_reset_rewinds_ingest_accounting_and_cadence(self, tmp_path):
+        """Regression: reset must rewind ``batches_ingested`` and the
+        checkpoint cadence counter -- stale values made a reset daemon
+        checkpoint on the wrong schedule with pre-reset meta totals."""
+        from repro.control.checkpoint import CheckpointManager
+        from repro.traffic.replay import Replayer
+
+        trace = caida_like(2000, n_flows=100, seed=6)
+        batches = list(Replayer(trace, batch_size=500).batches())
+        daemon = MeasurementDaemon(
+            nitro_countsketch(probability=0.1, seed=6),
+            checkpoints=CheckpointManager(str(tmp_path)),
+            checkpoint_interval=3,
+        )
+        for batch in batches[:2]:
+            daemon.ingest(batch)
+        assert daemon.batches_ingested == 2
+        daemon.reset()
+        assert daemon.batches_ingested == 0
+        assert daemon.packets_offered == 0
+        assert daemon._batches_since_checkpoint == 0
+        assert daemon.check_invariants() == []
+        # The cadence restarts: two post-reset batches stay short of the
+        # interval, the third triggers the first checkpoint, and its meta
+        # reflects post-reset totals only.
+        for batch in batches[:2]:
+            daemon.ingest(batch)
+        assert daemon.checkpoints.latest_sequence() is None
+        daemon.ingest(batches[2])
+        restored = daemon.checkpoints.restore_latest()
+        assert restored is not None
+        assert restored.meta["batches_ingested"] == 3
+        assert restored.meta["packets_offered"] == 1500

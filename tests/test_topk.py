@@ -126,3 +126,48 @@ class TestTopKProperty:
         kth_value = sorted(best.values(), reverse=True)[: k][-1]
         for key in held:
             assert best[key] >= kth_value - 1e-9
+
+
+class TestHeapCompaction:
+    def test_heap_bounded_under_tracked_reoffers(self):
+        """Regression: re-offering tracked keys must not grow the heap.
+
+        Updating an already-tracked key never evicts, so nothing lazily
+        pops its stale heap entries -- before amortized compaction the
+        heap held one tuple per offer and a long-lived monitor re-offering
+        its heavy hitters grew without bound.
+        """
+        from repro.sketches.topk import COMPACT_FACTOR
+
+        k = 16
+        topk = TopK(k)
+        for index in range(5000):
+            topk.offer(index % k, float(index))
+        assert len(topk) == k
+        assert len(topk._heap) <= COMPACT_FACTOR * k
+        assert topk.check_invariants() == []
+        # Estimates are the freshest offers despite the compactions.
+        for key in range(k):
+            expected = max(i for i in range(5000) if i % k == key)
+            assert topk.estimate(key) == float(expected)
+
+    def test_compaction_preserves_eviction_order(self):
+        from repro.sketches.topk import COMPACT_FACTOR
+
+        k = 4
+        topk = TopK(k)
+        # Grow stale entries past the compaction trigger...
+        for index in range(10 * COMPACT_FACTOR * k):
+            topk.offer(index % k, float(index + 10))
+        # ...then eviction must still target the true minimum.
+        floor = min(topk.estimate(key) for key in topk.keys())
+        assert topk.offer(999, floor + 1000.0)
+        assert 999 in topk
+        assert len(topk) == k
+
+    def test_check_invariants_clean_on_fresh_and_used(self):
+        topk = TopK(8)
+        assert topk.check_invariants() == []
+        for index in range(100):
+            topk.offer(index, float(index))
+        assert topk.check_invariants() == []

@@ -1,0 +1,208 @@
+"""Tests for the differential/statistical/invariant verify harness.
+
+Two directions:
+
+* the clean tree passes every suite (and the CLI exits 0);
+* the harness has *teeth* -- monkeypatching each historical data-plane
+  bug back in makes the matching check fail by name, and a
+  deliberately-broken sketch is rejected by the differential checks.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.config import NitroConfig
+from repro.core.modes import AlwaysLineRateController
+from repro.core.nitro import NitroSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.topk import TopK
+from repro.switchsim.daemon import MeasurementDaemon
+from repro.verify import (
+    CheckResult,
+    VerifyReport,
+    run_selfcheck,
+)
+from repro.verify.differential import (
+    check_nitro_estimate_envelope,
+    check_reset_equivalence,
+    check_vanilla_scalar_vs_batch,
+)
+from repro.verify.invariants import (
+    check_daemon_reset,
+    check_linerate_coherence,
+    check_topk_bound,
+)
+from repro.verify.statistical import check_epoch_discipline
+
+
+class TestReportPlumbing:
+    def test_result_classmethods(self):
+        ok = CheckResult.ok("a.b", "fine", metric=1.0)
+        bad = CheckResult.fail("a.c", "broken")
+        assert ok.passed and ok.metrics == {"metric": 1.0}
+        assert not bad.passed
+
+    def test_report_summary_names_failures(self):
+        report = VerifyReport()
+        report.add(CheckResult.ok("a.b", "fine"))
+        report.add(CheckResult.fail("a.c", "broken"))
+        assert not report.passed
+        assert [r.name for r in report.failures] == ["a.c"]
+        assert "a.c" in report.summary()
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            run_selfcheck(quick=True, suites=["bogus"])
+
+
+class TestCleanTreePasses:
+    def test_quick_selfcheck_all_green(self):
+        streamed = []
+        report = run_selfcheck(quick=True, on_result=streamed.append)
+        assert report.passed, report.summary()
+        assert streamed == report.results
+        assert len(report.results) >= 15
+
+    def test_cli_selfcheck_quick_exits_zero(self, capsys):
+        assert main(["selfcheck", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_cli_suite_filter(self, capsys):
+        assert main(["selfcheck", "--quick", "--suite", "invariant"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant." in out and "differential." not in out
+
+
+# -- regression teeth: each fixed bug, reverted, must fail its check ------
+
+
+def _revert_stale_controller_reset(monkeypatch):
+    """Bug 1: NitroSketch.reset left AlwaysLineRate's p stale."""
+    monkeypatch.setattr(AlwaysLineRateController, "reset", lambda self: None)
+
+
+def _revert_stale_daemon_reset(monkeypatch):
+    """Bug 2: MeasurementDaemon.reset kept ingest/cadence counters."""
+
+    def legacy_reset(self):
+        self.ops.reset()
+        self.packets_offered = 0
+        self._queue.clear()
+        self.batches_dropped = 0
+        if hasattr(self.monitor, "reset"):
+            self.monitor.reset()
+        if self.auditor is not None and hasattr(self.auditor, "reset"):
+            self.auditor.reset()
+
+    monkeypatch.setattr(MeasurementDaemon, "reset", legacy_reset)
+
+
+def _revert_per_batch_adaptation(monkeypatch):
+    """Bug 3: on_batch re-evaluated the rate on every sub-epoch batch."""
+
+    def legacy_on_batch(self, packet_count, duration_seconds):
+        if duration_seconds <= 0:
+            return None
+        rate_mpps = packet_count / duration_seconds / 1e6
+        new_probability = self.config.probability_for_rate(rate_mpps)
+        self.telemetry.count("nitro_epochs_total")
+        self.telemetry.event(
+            "nitro.epoch", rate_mpps=rate_mpps, probability=new_probability
+        )
+        if new_probability != self.current_probability:
+            self.current_probability = new_probability
+            self.adjustments.append((None, new_probability))
+            return new_probability
+        return None
+
+    monkeypatch.setattr(AlwaysLineRateController, "on_batch", legacy_on_batch)
+
+
+def _revert_unbounded_heap(monkeypatch):
+    """Bug 4: every offer heappushed; stale entries never compacted."""
+
+    def legacy_push(self, key, estimate):
+        heapq.heappush(self._heap, (estimate, key))
+
+    monkeypatch.setattr(TopK, "_push", legacy_push)
+
+
+class TestHarnessTeeth:
+    def test_stale_controller_reset_fails_reset_equivalence(self, monkeypatch):
+        _revert_stale_controller_reset(monkeypatch)
+        result = check_reset_equivalence(packets=2_000)
+        assert not result.passed
+        assert "desync" in result.detail or "p=" in result.detail
+
+    def test_stale_controller_reset_fails_linerate_coherence(self, monkeypatch):
+        _revert_stale_controller_reset(monkeypatch)
+        result = check_linerate_coherence(packets=3_000)
+        assert not result.passed
+        assert "desynced" in result.detail
+
+    def test_stale_daemon_reset_fails_daemon_check(self, monkeypatch):
+        _revert_stale_daemon_reset(monkeypatch)
+        result = check_daemon_reset()
+        assert not result.passed
+        assert "batches_ingested" in result.detail or "cadence" in result.detail
+
+    def test_per_batch_adaptation_fails_epoch_discipline(self, monkeypatch):
+        _revert_per_batch_adaptation(monkeypatch)
+        result = check_epoch_discipline(n_batches=120)
+        assert not result.passed
+        assert "epoch" in result.detail
+
+    def test_unbounded_heap_fails_topk_bound(self, monkeypatch):
+        _revert_unbounded_heap(monkeypatch)
+        result = check_topk_bound(offers=2_000)
+        assert not result.passed
+        assert "heap" in result.detail
+
+    def test_cli_exits_nonzero_on_violation(self, monkeypatch, capsys):
+        _revert_unbounded_heap(monkeypatch)
+        assert main(["selfcheck", "--quick", "--suite", "invariant"]) == 1
+        out = capsys.readouterr().out
+        assert "invariant.topk_bound" in out and "FAIL" in out
+
+
+# -- deliberately-broken implementations must be rejected -----------------
+
+
+class _BatchDropsLastKey(CountSketch):
+    """A sketch whose fused batch path silently loses the last packet."""
+
+    def update_batch(self, keys, weights=None, count_packets=True):
+        super().update_batch(np.asarray(keys)[:-1], weights, count_packets)
+
+
+class _UnscaledNitro(NitroSketch):
+    """A Nitro whose estimates miss the ``p^-1`` unbiasing (Idea A)."""
+
+    def query(self, key):
+        return super().query(key) * self.probability
+
+
+class TestBrokenImplementationsRejected:
+    def test_differential_catches_dropped_packet(self):
+        result = check_vanilla_scalar_vs_batch(
+            packets=2_000,
+            sketch_factory=lambda seed: _BatchDropsLastKey(5, 512, seed),
+        )
+        assert not result.passed
+        assert "diverge" in result.detail or "disagree" in result.detail
+
+    def test_envelope_catches_missing_unbias(self):
+        results = check_nitro_estimate_envelope(
+            nitro_factory=lambda: _UnscaledNitro(
+                CountSketch(5, 2048, 0),
+                NitroConfig(probability=0.1, top_k=64, seed=0),
+            )
+        )
+        verdicts = {r.name: r.passed for r in results}
+        assert verdicts["differential.envelope_oracle_vanilla"]
+        for label in ("scalar", "batch", "merge"):
+            assert not verdicts["differential.envelope_%s" % label]
