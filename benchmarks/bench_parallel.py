@@ -1,0 +1,76 @@
+"""Parallel ingest engine benchmarks: multiprocess runs vs one process.
+
+These measure the *whole* engine -- process spawn, shared-memory setup,
+sharded ingest, epoch hand-off, merge -- so wall time includes the
+fixed parallelism overhead that the per-packet kernel benches exclude.
+The scaling story (1/2/4 workers, aggregate CPU-clock rates) lives in
+``python -m repro.experiments.parallel_scaling``, whose committed
+``BENCH_parallel.json`` is guarded by ``scripts/check_perf.py``; these
+benches exist to catch engine-overhead regressions (a slower mailbox or
+merge shows up here first).
+"""
+
+import pytest
+
+from repro.parallel import (
+    NitroFactory,
+    ParallelIngestEngine,
+    VanillaFactory,
+    parallel_unavailable_reason,
+)
+
+pytestmark = pytest.mark.skipif(
+    parallel_unavailable_reason() is not None,
+    reason=parallel_unavailable_reason() or "",
+)
+
+
+def test_parallel_shared_countmin_2w(benchmark, caida_trace):
+    """Two workers scatter-adding into shared-memory CountMin banks."""
+    factory = VanillaFactory(sketch="countmin", depth=5, width=102_400, seed=3)
+    keys = caida_trace.keys
+
+    def run():
+        engine = ParallelIngestEngine(
+            factory, workers=2, strategy="shared", batch_size=16_384
+        )
+        return engine.run(keys)
+
+    result = benchmark(run)
+    assert result.packets == len(keys)
+
+
+def test_parallel_merge_nitro_2w(benchmark, caida_trace):
+    """Two workers with private NitroSketches, one epoch merge."""
+    factory = NitroFactory(
+        sketch="countsketch", depth=5, width=102_400, probability=0.01, seed=3
+    )
+    keys = caida_trace.keys
+
+    def run():
+        engine = ParallelIngestEngine(
+            factory, workers=2, strategy="merge", batch_size=16_384
+        )
+        return engine.run(keys)
+
+    result = benchmark(run)
+    assert result.packets == len(keys)
+
+
+def test_parallel_single_worker_overhead(benchmark, caida_trace):
+    """One worker through the full engine: the pure parallelism tax.
+
+    Compare against ``test_countmin_update_batch_fused`` in
+    ``bench_kernels.py`` -- the gap is spawn + shared memory + hand-off.
+    """
+    factory = VanillaFactory(sketch="countmin", depth=5, width=102_400, seed=3)
+    keys = caida_trace.keys
+
+    def run():
+        engine = ParallelIngestEngine(
+            factory, workers=1, strategy="shared", batch_size=16_384
+        )
+        return engine.run(keys)
+
+    result = benchmark(run)
+    assert result.packets == len(keys)

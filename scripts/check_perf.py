@@ -17,6 +17,16 @@ cost <= 10% over a daemon that never checkpoints), or the
 verify-overhead ceiling (the *disabled* invariant hook on the batch
 update path must cost <= 5% over calling the implementation directly).
 ``--update`` rewrites the baseline from this run instead.
+
+The parallel-scaling gate additionally runs the real multiprocess
+engine (shared-memory CountMin banks, 1 and 4 workers) and requires the
+4-worker aggregate CPU-clock rate to reach ``PARALLEL_SCALING_FLOOR``
+(2.5x) of the 1-worker rate -- the committed ``BENCH_parallel.json``
+must show the same.  Comparisons that need real parallel hardware (the
+4-worker aggregate vs the single-core ``countmin_update_batch``
+baseline, and wall-clock scaling) only run when the host has >= 4 CPUs:
+on fewer CPUs the workers time-slice and those numbers measure the
+scheduler, not the engine.
 """
 
 from __future__ import annotations
@@ -27,6 +37,158 @@ import os
 import sys
 
 BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+PARALLEL_BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_parallel.json"
+)
+
+#: Live parallel-gate measurement attempts; the best ratio counts (a
+#: loaded box -- e.g. right after the kernel benches above -- can
+#: starve one attempt's workers).
+PARALLEL_ATTEMPTS = 3
+
+
+def parallel_scaling_gate(args) -> list:
+    """The multiprocess-engine scaling gate; returns failure strings."""
+    from repro.experiments.parallel_scaling import (
+        BATCH_SIZE,
+        PARALLEL_SCALING_FLOOR,
+    )
+    from repro.parallel import (
+        ParallelIngestEngine,
+        VanillaFactory,
+        parallel_unavailable_reason,
+    )
+    from repro.traffic.traces import caida_like
+
+    failures = []
+
+    # 1. The committed baseline must exist and itself clear the floor.
+    try:
+        with open(PARALLEL_BASELINE) as handle:
+            committed = json.load(handle)
+        recorded = committed["configs"]["shared-countmin"]["workers"]["4"][
+            "scaling_x"
+        ]
+        status = "ok" if recorded >= PARALLEL_SCALING_FLOOR else "GATE MISSED"
+        print(
+            "%-32s committed scaling %.2fx (gate %.1fx)  %s"
+            % ("parallel_baseline", recorded, PARALLEL_SCALING_FLOOR, status)
+        )
+        if recorded < PARALLEL_SCALING_FLOOR:
+            failures.append(
+                "BENCH_parallel.json records %.2fx 4-worker scaling, below "
+                "the %.1fx gate" % (recorded, PARALLEL_SCALING_FLOOR)
+            )
+    except (FileNotFoundError, KeyError) as error:
+        failures.append(
+            "BENCH_parallel.json missing or malformed (%r) -- run "
+            "python -m repro.experiments.parallel_scaling --write" % error
+        )
+        return failures
+
+    reason = parallel_unavailable_reason()
+    if reason:
+        print(
+            "%-32s live gate skipped: %s" % ("parallel_scaling", reason)
+        )
+        return failures
+
+    # 2. Live: 4-worker aggregate CPU-clock rate vs 1-worker, same trace.
+    # 800k packets: short traces leave each worker too few batches for a
+    # stable CPU-clock reading.
+    packets = max(400_000, int(800_000 * args.scale))
+    trace = caida_like(packets, seed=0)
+    factory = VanillaFactory(sketch="countmin", depth=5, width=102_400, seed=0)
+
+    def measure(workers: int):
+        engine = ParallelIngestEngine(
+            factory, workers=workers, strategy="shared", batch_size=BATCH_SIZE
+        )
+        return engine.run(trace.keys)
+
+    best_ratio, single, quad = 0.0, None, None
+    for _ in range(PARALLEL_ATTEMPTS):
+        one = measure(1)
+        four = measure(4)
+        ratio = four.speedup_vs(one)
+        if ratio > best_ratio:
+            best_ratio, single, quad = ratio, one, four
+        if best_ratio >= PARALLEL_SCALING_FLOOR:
+            break
+    status = "ok" if best_ratio >= PARALLEL_SCALING_FLOOR else "GATE MISSED"
+    print(
+        "%-32s 1w %6.2f -> 4w %6.2f agg-cpu Mpps, %.2fx (gate %.1fx)  %s"
+        % (
+            "parallel_scaling",
+            single.aggregate_cpu_mpps,
+            quad.aggregate_cpu_mpps,
+            best_ratio,
+            PARALLEL_SCALING_FLOOR,
+            status,
+        )
+    )
+    if best_ratio < PARALLEL_SCALING_FLOOR:
+        failures.append(
+            "parallel scaling %.2fx below the %.1fx gate (1w %.2f, 4w %.2f "
+            "aggregate CPU-clock Mpps)"
+            % (
+                best_ratio,
+                PARALLEL_SCALING_FLOOR,
+                single.aggregate_cpu_mpps,
+                quad.aggregate_cpu_mpps,
+            )
+        )
+
+    # 3. Absolute comparisons need >= 4 real CPUs to mean anything.
+    host_cpus = os.cpu_count() or 1
+    if host_cpus >= 4:
+        try:
+            with open(BASELINE) as handle:
+                kernels = json.load(handle)
+            single_core = kernels["benches"]["countmin_update_batch"][
+                "fused_rate"
+            ]
+        except (FileNotFoundError, KeyError):
+            single_core = None
+        if single_core is not None:
+            floor = PARALLEL_SCALING_FLOOR * single_core * args.factor
+            rate = quad.aggregate_cpu_mpps
+            status = "ok" if rate >= floor else "GATE MISSED"
+            print(
+                "%-32s 4w %6.2f vs single-core %6.2f Mpps, floor %6.2f  %s"
+                % ("parallel_vs_kernel", rate, single_core, floor, status)
+            )
+            if rate < floor:
+                failures.append(
+                    "4-worker aggregate %.2f Mpps below %.2f (%.1fx the "
+                    "single-core countmin baseline %.2f x factor %.2f)"
+                    % (
+                        rate,
+                        floor,
+                        PARALLEL_SCALING_FLOOR,
+                        single_core,
+                        args.factor,
+                    )
+                )
+        wall_ratio = (
+            quad.wall_mpps / single.wall_mpps if single.wall_mpps > 0 else 0.0
+        )
+        status = "ok" if wall_ratio >= 2.0 else "GATE MISSED"
+        print(
+            "%-32s wall %.2fx at 4 workers (gate 2.0x, %d CPUs)  %s"
+            % ("parallel_wall_scaling", wall_ratio, host_cpus, status)
+        )
+        if wall_ratio < 2.0:
+            failures.append(
+                "wall-clock scaling %.2fx below 2.0x on a %d-CPU host"
+                % (wall_ratio, host_cpus)
+            )
+    else:
+        print(
+            "%-32s absolute/wall gates skipped (host has %d CPU(s) < 4: "
+            "workers time-slice)" % ("parallel_vs_kernel", host_cpus)
+        )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -61,6 +223,11 @@ def main(argv=None) -> int:
         "--skip-verify",
         action="store_true",
         help="skip the verify-hook-overhead gate",
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="skip the multiprocess-engine scaling gate",
     )
     args = parser.parse_args(argv)
 
@@ -175,6 +342,9 @@ def main(argv=None) -> int:
             failures.append(
                 "verify-hook overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
             )
+
+    if not args.skip_parallel:
+        failures.extend(parallel_scaling_gate(args))
 
     if failures:
         print("\nperformance check FAILED:")

@@ -25,9 +25,13 @@ Subcommands:
   see docs/RECOVERY.md);
 * ``selfcheck`` -- the differential + statistical correctness harness:
   every ingest path against the vanilla oracle, the sampling process
-  against its closed-form math, and the stack's cross-component
-  invariants under load; exits non-zero on any violation (the CI
-  selfcheck-smoke job's entry point; see docs/VERIFICATION.md).
+  against its closed-form math, the stack's cross-component invariants
+  under load, and the parallel plane against its sequential oracle;
+  exits non-zero on any violation (the CI selfcheck-smoke and
+  parallel-smoke jobs' entry point; see docs/VERIFICATION.md);
+* ``parallel`` -- run the multiprocess shared-memory ingest engine over
+  a trace and report per-worker and aggregate throughput honestly
+  (wall, CPU-clock, busy-wall -- see docs/PARALLELISM.md).
 
 Examples::
 
@@ -42,6 +46,8 @@ Examples::
     nitrosketch chaos --quick
     nitrosketch selfcheck --quick
     nitrosketch selfcheck --suite differential --seed 3
+    nitrosketch selfcheck --suite parallel --quick
+    nitrosketch parallel --workers 4 --packets 400000
     nitrosketch top --url http://127.0.0.1:9109/snapshot
 """
 
@@ -87,6 +93,7 @@ EXPERIMENT_NAMES = (
     "ablation",
     "adaptive",
     "validation",
+    "parallel_scaling",
 )
 
 PLATFORMS = {
@@ -389,6 +396,78 @@ def cmd_selfcheck(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_parallel(args) -> int:
+    """Run the multiprocess ingest engine over a trace and report rates."""
+    from repro.parallel import (
+        NitroFactory,
+        ParallelIngestEngine,
+        VanillaFactory,
+        parallel_unavailable_reason,
+    )
+    from repro.traffic.traces import caida_like
+
+    reason = parallel_unavailable_reason()
+    if reason:
+        print("parallel: %s" % reason, file=sys.stderr)
+        return 2
+    if args.trace is not None:
+        trace = _load_trace(args.trace)
+    else:
+        trace = caida_like(args.packets, seed=args.seed)
+    if args.nitro:
+        factory = NitroFactory(
+            sketch=args.sketch,
+            depth=args.depth,
+            width=args.width,
+            probability=args.probability,
+            seed=args.seed,
+        )
+    else:
+        factory = VanillaFactory(
+            sketch=args.sketch, depth=args.depth, width=args.width, seed=args.seed
+        )
+    engine = ParallelIngestEngine(
+        factory,
+        workers=args.workers,
+        strategy=args.strategy,
+        epoch_packets=args.epoch_packets,
+        batch_size=args.batch_size,
+    )
+    result = engine.run(trace.keys)
+    print(
+        "%d workers (%s, %s%s), %d packets, %d epoch(s), start method %s, "
+        "host CPUs %d"
+        % (
+            result.workers,
+            result.strategy,
+            "nitro-" if args.nitro else "",
+            args.sketch,
+            result.packets,
+            result.epochs,
+            result.start_method,
+            result.host_cpus,
+        )
+    )
+    for stats in result.worker_stats:
+        print(
+            "  worker %d: %8d packets, %5d batches, busy %6.3fs wall / "
+            "%6.3fs cpu, %6.2f Mpps (cpu clock)%s"
+            % (
+                stats.worker,
+                stats.packets,
+                stats.batches,
+                stats.busy_wall_seconds,
+                stats.busy_cpu_seconds,
+                stats.cpu_mpps,
+                ", %d restart(s)" % stats.restarts if stats.restarts else "",
+            )
+        )
+    print("wall (end-to-end)       %8.2f Mpps" % result.wall_mpps)
+    print("aggregate (cpu clock)   %8.2f Mpps" % result.aggregate_cpu_mpps)
+    print("aggregate (busy wall)   %8.2f Mpps" % result.aggregate_busy_mpps)
+    return 0
+
+
 def cmd_experiment(args) -> int:
     module = importlib.import_module("repro.experiments.%s" % args.name)
     kwargs = {}
@@ -549,11 +628,42 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument(
         "--suite",
         action="append",
-        choices=("differential", "statistical", "invariant"),
+        choices=("differential", "statistical", "invariant", "parallel"),
         default=None,
         help="run only the named suite (repeatable; default: all)",
     )
     selfcheck.set_defaults(func=cmd_selfcheck)
+
+    parallel = sub.add_parser(
+        "parallel",
+        help="multiprocess shared-memory ingest run (see docs/PARALLELISM.md)",
+    )
+    parallel.add_argument(
+        "trace", nargs="?", default=None, help=".npz/.pcap trace (default: synthetic)"
+    )
+    parallel.add_argument("--packets", type=int, default=400_000,
+                          help="synthetic trace size when no trace file is given")
+    parallel.add_argument("--workers", type=int, default=4)
+    parallel.add_argument(
+        "--strategy", choices=("merge", "shared"), default="shared"
+    )
+    parallel.add_argument(
+        "--sketch", choices=("countmin", "countsketch", "kary"), default="countmin"
+    )
+    parallel.add_argument(
+        "--nitro", action="store_true",
+        help="run NitroSketch monitors instead of vanilla sketches",
+    )
+    parallel.add_argument("--probability", type=float, default=0.01)
+    parallel.add_argument("--depth", type=int, default=5)
+    parallel.add_argument("--width", type=int, default=102_400)
+    parallel.add_argument("--batch-size", type=int, default=16_384)
+    parallel.add_argument(
+        "--epoch-packets", type=int, default=None,
+        help="packets per epoch (merge strategy only; default: one epoch)",
+    )
+    parallel.add_argument("--seed", type=int, default=0)
+    parallel.set_defaults(func=cmd_parallel)
 
     return parser
 

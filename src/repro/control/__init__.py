@@ -25,10 +25,12 @@ from repro.control.plane import ControlPlane, EpochReport, KAryChangeMonitor
 from repro.control.windows import SlidingWindowMonitor
 from repro.control.export import (
     ControlLink,
+    deserialize_epoch_frame,
     deserialize_monitor,
     deserialize_sketch,
     export_cost,
     register_sketch_class,
+    serialize_epoch_frame,
     serialize_monitor,
     serialize_sketch,
 )
@@ -49,6 +51,8 @@ __all__ = [
     "deserialize_sketch",
     "serialize_monitor",
     "deserialize_monitor",
+    "serialize_epoch_frame",
+    "deserialize_epoch_frame",
     "register_sketch_class",
     "export_cost",
     "SlidingWindowMonitor",

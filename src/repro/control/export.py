@@ -443,6 +443,55 @@ def deserialize_monitor(data: bytes):
 
 
 # ---------------------------------------------------------------------------
+# Epoch hand-off frames (parallel data plane -> control plane).
+# ---------------------------------------------------------------------------
+
+
+def serialize_epoch_frame(meta: Dict[str, Any], monitor=None) -> bytes:
+    """Frame one epoch hand-off from a data-plane worker.
+
+    ``meta`` is a JSON-compatible dict of per-epoch bookkeeping (worker
+    id, epoch number, packet/timing counters); ``monitor`` optionally
+    embeds the worker's full monitor state via
+    :func:`serialize_monitor` -- the merge-per-epoch strategy ships its
+    sketch this way, the shared-memory strategy ships metadata only.
+
+    The result is a normal NSKW v2 frame: versioned, CRC-checked, and
+    rejected with ``ValueError`` on any truncation or corruption, which
+    is what makes the mailbox hand-off safe against torn reads and bit
+    rot (the embedded monitor frame carries its own CRC too, so damage
+    is double-checked).
+    """
+    header: Dict[str, Any] = {
+        "class": "EpochFrame",
+        "meta": dict(meta),
+        "monitor": monitor is not None,
+    }
+    sections = [serialize_monitor(monitor)] if monitor is not None else []
+    return _frame(header, sections)
+
+
+def deserialize_epoch_frame(data: bytes) -> Tuple[Dict[str, Any], Any]:
+    """Rebuild ``(meta, monitor_or_None)`` from an epoch frame.
+
+    Raises ``ValueError`` on CRC mismatch, truncation, or a frame of the
+    wrong class -- a consumer must treat that as a corrupt shard, never
+    merge it.
+    """
+    header, sections = _unframe(data)
+    if header.get("class") != "EpochFrame":
+        raise ValueError(
+            "frame holds a %r, not an EpochFrame" % (header.get("class"),)
+        )
+    monitor = None
+    if header.get("monitor"):
+        if not sections:
+            raise ValueError("epoch frame claims a monitor but has no section")
+        monitor = deserialize_monitor(sections[0])
+    return dict(header.get("meta", {})), monitor
+
+
+# ---------------------------------------------------------------------------
 # Control link model.
 # ---------------------------------------------------------------------------
 

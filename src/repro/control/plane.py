@@ -136,46 +136,129 @@ class ControlPlane:
                 if hasattr(monitor, "telemetry"):
                     monitor.telemetry = telemetry
                 self._ingest(monitor, epoch_trace)
-                self.monitors.append(monitor)
-                if self.keep_monitors is not None and len(self.monitors) > self.keep_monitors:
-                    del self.monitors[: -self.keep_monitors]
-                epoch_report = EpochReport(epoch=epoch, packets=len(epoch_trace))
-                truth = epoch_trace.counts() if self.score else None
-                for task in self.tasks:
-                    with telemetry.span("control_task_seconds", task=task.name):
-                        report = task.evaluate(monitor, len(epoch_trace))
-                        if truth is not None:
-                            report = task.score(report, truth)
-                    epoch_report.reports[task.name] = report
-                    telemetry.event(
-                        "control.task",
-                        task=task.name,
-                        epoch=epoch,
-                        detected=len(report.detected),
-                        estimate=report.estimate,
-                    )
-                if self.auditor is not None:
-                    self._audit_epoch(monitor, epoch_trace)
-                if (
-                    self.checkpoints is not None
-                    and (offset + 1) % self.checkpoint_interval == 0
-                ):
-                    self.checkpoints.save(
-                        monitor,
-                        meta={"epoch": epoch, "packets": len(epoch_trace)},
-                    )
-                    telemetry.gauge("control_checkpoint_age_epochs", 0)
-                elif self.checkpoints is not None:
-                    telemetry.gauge(
-                        "control_checkpoint_age_epochs",
-                        (offset + 1) % self.checkpoint_interval,
-                    )
-                reports.append(epoch_report)
+                reports.append(
+                    self._evaluate_epoch(monitor, epoch, epoch_trace, offset)
+                )
             telemetry.count("control_epochs_total")
             telemetry.event(
                 "control.epoch", epoch=epoch, packets=len(epoch_trace)
             )
         return reports
+
+    def run_parallel_epochs(
+        self, trace: Trace, epoch_packets: int, engine
+    ) -> Tuple[List[EpochReport], object]:
+        """Drive the epoch loop off the parallel data plane.
+
+        ``engine`` is a :class:`~repro.parallel.ParallelIngestEngine`
+        whose workers ingest the trace's RSS shards in processes; at
+        each epoch boundary the engine's merged monitor (the union of
+        every worker's shard for that epoch) lands here through the
+        ``on_epoch`` hand-off and is evaluated exactly like a
+        :meth:`run_epochs` epoch -- same tasks, scoring, auditing and
+        checkpointing, with the plane's own ``monitor_factory`` unused.
+
+        The engine must use the ``merge`` strategy with
+        ``reset_per_epoch=True``: only then does each delivered monitor
+        cover exactly one epoch, matching the fresh-monitor-per-epoch
+        contract change detection relies on.  Parallel runs start from
+        epoch 0 (no checkpoint-resume: the engine always replays the
+        whole trace); checkpoints are still *written* per interval.
+
+        Returns ``(reports, run_result)`` -- the per-epoch task reports
+        plus the engine's :class:`~repro.parallel.ParallelRunResult`
+        with its measured throughput and restart counts.
+        """
+        if epoch_packets < 1:
+            raise ValueError("epoch_packets must be >= 1")
+        if engine.strategy != "merge":
+            raise ValueError(
+                "run_parallel_epochs needs a merge-strategy engine: the "
+                "shared strategy only produces a single end-of-trace monitor"
+            )
+        if not engine.reset_per_epoch:
+            raise ValueError(
+                "run_parallel_epochs needs reset_per_epoch=True: each "
+                "delivered monitor must cover one epoch, not the whole run"
+            )
+        if engine.epoch_packets is None:
+            engine.epoch_packets = epoch_packets
+        elif engine.epoch_packets != epoch_packets:
+            raise ValueError(
+                "engine.epoch_packets (%r) disagrees with epoch_packets (%d)"
+                % (engine.epoch_packets, epoch_packets)
+            )
+        telemetry = self.telemetry
+        reports: List[EpochReport] = []
+
+        def boundary(epoch: int, merged, metas) -> None:
+            start = epoch * epoch_packets
+            stop = min(start + epoch_packets, len(trace))
+            epoch_trace = trace.slice(start, stop)
+            with telemetry.span("control_epoch_seconds"):
+                if hasattr(merged, "telemetry"):
+                    merged.telemetry = telemetry
+                reports.append(
+                    self._evaluate_epoch(merged, epoch, epoch_trace, epoch)
+                )
+            telemetry.count("control_epochs_total")
+            telemetry.event(
+                "control.epoch",
+                epoch=epoch,
+                packets=len(epoch_trace),
+                parallel=True,
+            )
+
+        result = engine.run(trace.keys, on_epoch=boundary)
+        return reports, result
+
+    def _evaluate_epoch(
+        self, monitor, epoch: int, epoch_trace: Trace, offset: int
+    ) -> EpochReport:
+        """Everything that happens at one epoch boundary, post-ingest.
+
+        Shared by the sequential and parallel paths: monitor retention,
+        task evaluation (scored against exact epoch truth when enabled),
+        shadow auditing, and interval checkpointing.  ``offset`` is the
+        epoch's position within *this* run (it differs from ``epoch``
+        after a checkpoint restore) and paces the checkpoint interval.
+        """
+        telemetry = self.telemetry
+        self.monitors.append(monitor)
+        if self.keep_monitors is not None and len(self.monitors) > self.keep_monitors:
+            del self.monitors[: -self.keep_monitors]
+        epoch_report = EpochReport(epoch=epoch, packets=len(epoch_trace))
+        truth = epoch_trace.counts() if self.score else None
+        for task in self.tasks:
+            with telemetry.span("control_task_seconds", task=task.name):
+                report = task.evaluate(monitor, len(epoch_trace))
+                if truth is not None:
+                    report = task.score(report, truth)
+            epoch_report.reports[task.name] = report
+            telemetry.event(
+                "control.task",
+                task=task.name,
+                epoch=epoch,
+                detected=len(report.detected),
+                estimate=report.estimate,
+            )
+        if self.auditor is not None:
+            self._audit_epoch(monitor, epoch_trace)
+        if (
+            self.checkpoints is not None
+            and (offset + 1) % self.checkpoint_interval == 0
+        ):
+            self.checkpoints.save(
+                monitor,
+                meta={"epoch": epoch, "packets": len(epoch_trace)},
+            )
+            telemetry.gauge("control_checkpoint_age_epochs", 0)
+        elif self.checkpoints is not None:
+            telemetry.gauge(
+                "control_checkpoint_age_epochs",
+                (offset + 1) % self.checkpoint_interval,
+            )
+        return epoch_report
 
     def _audit_epoch(self, monitor, epoch_trace: Trace) -> None:
         """Shadow-audit one epoch's monitor against exact epoch truth."""

@@ -147,3 +147,24 @@ class NitroConfig:
         if rate_mpps <= 0:
             return 1.0
         return snap_to_ladder(self.target_update_rate_mpps / rate_mpps)
+
+    def for_shard(self, shard_id: int) -> "NitroConfig":
+        """A copy of this config with the sampler seed re-derived for a shard.
+
+        Parallel ingest runs one NitroSketch per RSS shard; each shard
+        must draw an *independent* geometric sampling stream (identical
+        streams would correlate the row-sampling noise across shards and
+        void the Theorem-2 variance analysis), yet stay deterministic so
+        a run is reproducible.  The derivation is
+        ``derive_stream_seed(seed, shard_id)`` -- a pure function of
+        (base seed, shard id), so re-running a worker replays its exact
+        stream.  Negative ids (the merge-base sentinel) keep the base
+        seed: that monitor never ingests, it only receives merges.
+        """
+        from dataclasses import replace
+
+        from repro.hashing.prng import derive_stream_seed
+
+        if shard_id < 0:
+            return replace(self)
+        return replace(self, seed=derive_stream_seed(self.seed, shard_id))

@@ -27,6 +27,7 @@ ALL_EXPERIMENTS = (
     "ablation",
     "adaptive",
     "validation",
+    "parallel_scaling",
 )
 
 

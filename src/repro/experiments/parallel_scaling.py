@@ -1,0 +1,190 @@
+"""Multi-core scaling of the real parallel ingest engine.
+
+Measures aggregate trace-ingest throughput of
+:class:`~repro.parallel.ParallelIngestEngine` at 1, 2 and 4 workers for
+both strategies -- ``shared`` (shared-memory counter banks, vanilla
+CountMin) and ``merge`` (private NitroSketch per worker, epoch merge) --
+and reports the scaling ratio of each worker count against the 1-worker
+run of the *same* configuration.
+
+Three rates per row, honestly labeled (see
+:class:`~repro.parallel.ParallelRunResult`):
+
+* ``wall_mpps`` -- packets / end-to-end wall time.  Only meaningful as
+  a scaling signal when the host has at least as many CPUs as workers;
+  on fewer CPUs the workers time-slice and wall time cannot improve.
+* ``agg_cpu_mpps`` -- sum over workers of (shard packets / CPU seconds
+  that worker actually burned).  This is the DPDK-style aggregate
+  capacity number -- what the fleet would sustain with a core per
+  worker -- and is the rate the scaling gate uses because it is
+  meaningful even on an undersized host.
+* ``agg_busy_mpps`` -- sum of per-worker wall busy rates; sits between
+  the two.
+
+``python -m repro.experiments.parallel_scaling --write`` regenerates
+``BENCH_parallel.json``, which ``scripts/check_perf.py`` validates and
+gates (4-worker aggregate must reach
+:data:`PARALLEL_SCALING_FLOOR` x the 1-worker rate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.experiments.report import ExperimentResult
+from repro.parallel import (
+    NitroFactory,
+    ParallelIngestEngine,
+    VanillaFactory,
+    parallel_unavailable_reason,
+)
+from repro.traffic.traces import caida_like
+
+#: 4-worker aggregate CPU-clock Mpps must reach this multiple of the
+#: 1-worker rate (the acceptance gate; checked by scripts/check_perf.py).
+PARALLEL_SCALING_FLOOR = 2.5
+
+#: Worker counts measured per strategy.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Ingest batch size.  Large batches amortise the dense-accumulator pass
+#: but inflate each worker's cache working set; 16384 is the measured
+#: sweet spot for the *scaling ratio* on small hosts (bigger batches can
+#: raise the 1-worker rate while collapsing the 4-worker aggregate once
+#: workers time-slice).
+BATCH_SIZE = 16_384
+
+_PACKETS = 800_000
+
+
+def _configs(seed: int) -> List[Dict]:
+    return [
+        {
+            "config": "shared-countmin",
+            "strategy": "shared",
+            "factory": VanillaFactory(
+                sketch="countmin", depth=5, width=102_400, seed=seed
+            ),
+        },
+        {
+            "config": "merge-nitro-cs",
+            "strategy": "merge",
+            "factory": NitroFactory(
+                sketch="countsketch",
+                depth=5,
+                width=102_400,
+                probability=0.01,
+                seed=seed,
+            ),
+        },
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Measure both strategies at each worker count; return one table."""
+    result = ExperimentResult(
+        name="parallel_scaling",
+        description=(
+            "Aggregate trace-ingest throughput of the multiprocess engine "
+            "vs worker count (%d-packet CAIDA-like trace, batch %d)"
+            % (int(_PACKETS * scale), BATCH_SIZE)
+        ),
+    )
+    reason = parallel_unavailable_reason()
+    if reason:
+        # Keep the registry contract (non-empty rows) on hosts without
+        # a usable shared-memory mount; the note carries the why.
+        result.notes.append("SKIPPED: %s" % reason)
+        result.rows.append(
+            {"config": "unavailable", "workers": 0, "packets": 0}
+        )
+        return result
+    packets = max(50_000, int(_PACKETS * scale))
+    trace = caida_like(packets, seed=seed)
+    result.notes.append(
+        "host CPUs: %d -- wall_mpps only reflects scaling when CPUs >= "
+        "workers; agg_cpu_mpps is the per-core capacity aggregate"
+        % (os.cpu_count() or 1)
+    )
+    for spec in _configs(seed):
+        baseline = None
+        for workers in WORKER_COUNTS:
+            engine = ParallelIngestEngine(
+                spec["factory"],
+                workers=workers,
+                strategy=spec["strategy"],
+                batch_size=BATCH_SIZE,
+            )
+            run_result = engine.run(trace.keys)
+            if workers == 1:
+                baseline = run_result
+            result.rows.append(
+                {
+                    "config": spec["config"],
+                    "workers": workers,
+                    "packets": run_result.packets,
+                    "wall_mpps": run_result.wall_mpps,
+                    "agg_cpu_mpps": run_result.aggregate_cpu_mpps,
+                    "agg_busy_mpps": run_result.aggregate_busy_mpps,
+                    "scaling_x": run_result.speedup_vs(baseline),
+                    "start": run_result.start_method,
+                }
+            )
+    return result
+
+
+def payload(result: ExperimentResult) -> Dict:
+    """The JSON shape ``BENCH_parallel.json`` / ``check_perf.py`` use."""
+    configs: Dict[str, Dict] = {}
+    for row in result.rows:
+        entry = configs.setdefault(row["config"], {"workers": {}})
+        entry["workers"][str(row["workers"])] = {
+            "wall_mpps": round(row["wall_mpps"], 4),
+            "agg_cpu_mpps": round(row["agg_cpu_mpps"], 4),
+            "agg_busy_mpps": round(row["agg_busy_mpps"], 4),
+            "scaling_x": round(row["scaling_x"], 2),
+        }
+    return {
+        "generated_by": "python -m repro.experiments.parallel_scaling",
+        "description": result.description,
+        "unit": "Mpps",
+        "host_cpus": os.cpu_count() or 1,
+        "batch_size": BATCH_SIZE,
+        "scaling_floor": PARALLEL_SCALING_FLOOR,
+        "configs": configs,
+        "notes": list(result.notes),
+    }
+
+
+def write_baseline(
+    path: str = "BENCH_parallel.json", result: Optional[ExperimentResult] = None
+) -> Dict:
+    """Regenerate the committed scaling baseline."""
+    if result is None:
+        result = run()
+    data = payload(result)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.experiments.report import print_result
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write", action="store_true", help="rewrite BENCH_parallel.json"
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    outcome = run(scale=args.scale, seed=args.seed)
+    print_result(outcome)
+    if args.write:
+        write_baseline(result=outcome)
+        print("\nwrote BENCH_parallel.json")

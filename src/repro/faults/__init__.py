@@ -15,12 +15,22 @@ the claims end to end:
   any failure.
 """
 
-from repro.faults.inject import LossyChannel, corrupt_file, truncate_file
+from repro.faults.inject import (
+    FrameCorruptionPlan,
+    LossyChannel,
+    WorkerCrashPlan,
+    corrupt_file,
+    flip_bytes,
+    truncate_file,
+)
 from repro.faults.chaos import ChaosResult, ChaosRunner, run_chaos
 
 __all__ = [
     "truncate_file",
     "corrupt_file",
+    "flip_bytes",
+    "WorkerCrashPlan",
+    "FrameCorruptionPlan",
     "LossyChannel",
     "ChaosResult",
     "ChaosRunner",

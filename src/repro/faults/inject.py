@@ -8,6 +8,7 @@ the same bytes flipped.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.hashing.prng import SplitMix64
@@ -50,6 +51,79 @@ def corrupt_file(path: str, count: int = 8, seed: int = 0) -> List[int]:
             handle.seek(offset)
             handle.write(bytes([original[0] ^ 0xFF]))
     return offsets
+
+
+def flip_bytes(data: bytes, count: int = 8, seed: int = 0) -> bytes:
+    """In-memory :func:`corrupt_file`: flip ``count`` bytes of ``data``.
+
+    Same deterministic offset stream as :func:`corrupt_file` (so a
+    failing run replays with the same bytes flipped), but operating on a
+    payload before it hits a wire or a mailbox -- the fault model for
+    corruption *in transit* rather than at rest.  Length is preserved;
+    only content validation (CRC) can catch the damage.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1, got %d" % count)
+    if len(data) == 0:
+        return data
+    rng = SplitMix64(seed ^ 0xFA017)
+    offsets = sorted({rng.next_u64() % len(data) for _ in range(count)})
+    corrupted = bytearray(data)
+    for offset in offsets:
+        corrupted[offset] ^= 0xFF
+    return bytes(corrupted)
+
+
+@dataclass(frozen=True)
+class WorkerCrashPlan:
+    """Deterministic one-shot crash for a parallel-ingest worker.
+
+    The targeted worker hard-exits (``os._exit``) after ingesting
+    ``fraction`` of the named epoch's batches -- mid-epoch, before the
+    epoch frame is published -- modelling an OOM kill or segfault on one
+    RSS queue.  The engine's recovery path must respawn the worker and
+    reproduce the no-crash result exactly.
+    """
+
+    worker: int
+    epoch: int = 0
+    fraction: float = 0.5
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker must be >= 0, got %d" % self.worker)
+        if self.epoch < 0:
+            raise ValueError("epoch must be >= 0, got %d" % self.epoch)
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1], got %r" % (self.fraction,))
+        if self.exit_code == 0:
+            raise ValueError("exit_code 0 would read as a clean exit")
+
+
+@dataclass(frozen=True)
+class FrameCorruptionPlan:
+    """Deterministic corruption of one worker's published epoch frame.
+
+    The targeted worker runs :func:`flip_bytes` over the named epoch's
+    serialized frame before publishing it -- bit rot on the hand-off
+    path.  The consumer must reject the frame via its CRC; silently
+    merging a corrupt shard is the failure mode this plan exists to
+    prove impossible.
+    """
+
+    worker: int
+    epoch: int = 0
+    count: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker must be >= 0, got %d" % self.worker)
+        if self.epoch < 0:
+            raise ValueError("epoch must be >= 0, got %d" % self.epoch)
+        if self.count < 1:
+            raise ValueError("count must be >= 1, got %d" % self.count)
 
 
 class LossyChannel:

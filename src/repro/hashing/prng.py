@@ -236,3 +236,21 @@ class XorShift64Star(object):
         if state == 0:
             raise ValueError("xorshift64* state must be nonzero")
         self._state = state & MASK64
+
+
+def derive_stream_seed(base_seed: int, stream_id: int) -> int:
+    """Derive the ``stream_id``-th independent 64-bit seed from ``base_seed``.
+
+    SplitMix64 exists for exactly this job (Steele, Lea & Flood 2014):
+    turning one user seed into many statistically independent generator
+    seeds.  The stream index is spread with the golden-ratio increment
+    before mixing so that (seed, 0), (seed, 1), ... land far apart in
+    state space, and the first output is burned so stream 0 never equals
+    the raw base seed.  Deterministic -- parallel workers seeded with
+    ``derive_stream_seed(seed, shard_id)`` replay identically run to
+    run -- and never zero, so the result is safe to hand to
+    :class:`XorShift64Star` directly.
+    """
+    rng = SplitMix64((base_seed ^ ((stream_id * 0x9E3779B97F4A7C15) & MASK64)) & MASK64)
+    rng.next_u64()
+    return rng.next_nonzero_u64()

@@ -35,6 +35,36 @@ def scatter_add_flat(flat: "np.ndarray", indices: "np.ndarray", values=None) -> 
         np.add.at(flat, indices, values)
 
 
+def shared_counter_banks(
+    buffer, workers: int, depth: int, width: int
+) -> "np.ndarray":
+    """View a shared-memory buffer as per-worker counter banks.
+
+    Returns a ``(workers, depth, width)`` float64 array over ``buffer``
+    (any writable buffer protocol object -- in practice a
+    ``multiprocessing.shared_memory.SharedMemory.buf``).  Each
+    ``banks[w]`` slice is C-contiguous, which is what lets a worker
+    rebind ``sketch.counters = banks[w]`` and keep the fast flat-scatter
+    path of :func:`scatter_add_flat`: every batch update then lands
+    directly in shared memory with no copies and no locks, because each
+    worker owns its bank exclusively (merge is ``banks.sum(axis=0)``).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1, got %d" % workers)
+    if depth < 1 or width < 1:
+        raise ValueError(
+            "depth and width must be >= 1, got %dx%d" % (depth, width)
+        )
+    needed = workers * depth * width * 8
+    banks = np.frombuffer(buffer, dtype=np.float64, count=workers * depth * width)
+    if banks.nbytes < needed:
+        raise ValueError(
+            "buffer holds %d bytes, %d banks of %dx%d float64 need %d"
+            % (banks.nbytes, workers, depth, width, needed)
+        )
+    return banks.reshape(workers, depth, width)
+
+
 def scatter_add_2d(
     counters: "np.ndarray",
     rows: "np.ndarray",

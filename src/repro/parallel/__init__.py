@@ -1,0 +1,65 @@
+"""True multi-core data plane: shared-memory parallel ingest.
+
+The single-core kernels (BENCH_kernels.json) are a per-core ceiling;
+real software-sketch throughput is won on the parallel ingest
+architecture.  This package is that architecture:
+
+* :mod:`repro.parallel.shard` -- RSS flow-hash shard assignment (same
+  hash as :class:`~repro.switchsim.MultiCoreSimulator`, so modeled and
+  measured runs shard identically) and epoch windowing;
+* :mod:`repro.parallel.mailbox` -- lock-free seqlock mailboxes in
+  ``multiprocessing.shared_memory`` carrying CRC-checked NSKW epoch
+  frames from workers to the parent;
+* :mod:`repro.parallel.engine` -- the
+  :class:`~repro.parallel.engine.ParallelIngestEngine`: worker
+  processes ingesting disjoint shards under a ``merge`` (private
+  monitor, bit-exact epoch merge) or ``shared`` (shared-memory counter
+  banks) strategy, with crash recovery and corruption detection;
+* :mod:`repro.parallel.factories` -- picklable monitor factories
+  honouring the per-shard seed-derivation contract.
+
+``nitrosketch selfcheck --suite parallel`` proves the engine against
+its in-process sequential oracle; ``nitrosketch parallel`` and
+``python -m repro.experiments.parallel_scaling`` measure it.
+"""
+
+from repro.parallel.engine import (
+    ParallelIngestEngine,
+    ParallelRunResult,
+    ShardCorruptionError,
+    WorkerCrashError,
+    WorkerSpec,
+    WorkerStats,
+)
+from repro.parallel.factories import NitroFactory, VanillaFactory
+from repro.parallel.mailbox import (
+    EpochMailbox,
+    MailboxTimeout,
+    parallel_unavailable_reason,
+)
+from repro.parallel.shard import (
+    MERGE_SHARD,
+    RSS_SALT,
+    epoch_bounds,
+    rss_assignments,
+    shard_counts,
+)
+
+__all__ = [
+    "ParallelIngestEngine",
+    "ParallelRunResult",
+    "WorkerSpec",
+    "WorkerStats",
+    "WorkerCrashError",
+    "ShardCorruptionError",
+    "NitroFactory",
+    "VanillaFactory",
+    "EpochMailbox",
+    "MailboxTimeout",
+    "parallel_unavailable_reason",
+    "MERGE_SHARD",
+    "RSS_SALT",
+    "rss_assignments",
+    "shard_counts",
+    "epoch_bounds",
+]

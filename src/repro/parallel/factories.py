@@ -1,0 +1,83 @@
+"""Picklable monitor factories for parallel workers.
+
+A worker process (re)builds its monitor from a factory, so factories
+must survive pickling under the ``spawn`` start method -- closures and
+lambdas do not.  These are frozen dataclasses: pure data, importable by
+module path, and deterministic.
+
+The seeding contract is the one shard merging requires:
+
+* the *sketch* seed is identical across shards -- hash functions must
+  agree or ``merge`` would sum counters that index different flows;
+* the *sampler* seed is derived per shard via
+  :meth:`NitroConfig.for_shard` -- each worker draws an independent
+  geometric stream, deterministically, so a run is reproducible and a
+  respawned worker replays its exact stream;
+* the :data:`~repro.parallel.shard.MERGE_SHARD` sentinel keeps the base
+  seed: the merge base never ingests, it only receives merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NitroConfig
+from repro.core.nitro import NitroSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.kary import KArySketch
+
+_SKETCHES = {
+    "countmin": CountMinSketch,
+    "countsketch": CountSketch,
+    "kary": KArySketch,
+}
+
+
+@dataclass(frozen=True)
+class VanillaFactory:
+    """Per-shard vanilla canonical sketch (no sampling, no RNG state).
+
+    Every shard gets the *same* seed: vanilla sketches are
+    deterministic, and identical hash functions are exactly what makes
+    the shard merge (counter summation) bit-exact against a single
+    sketch that ingested the whole trace.
+    """
+
+    sketch: str = "countmin"
+    depth: int = 5
+    width: int = 10000
+    seed: int = 0
+
+    def __call__(self, shard_id: int):
+        cls = _SKETCHES.get(self.sketch)
+        if cls is None:
+            raise ValueError(
+                "unknown sketch %r (choose from %s)"
+                % (self.sketch, sorted(_SKETCHES))
+            )
+        return cls(self.depth, self.width, self.seed)
+
+
+@dataclass(frozen=True)
+class NitroFactory:
+    """Per-shard :class:`NitroSketch` with a derived sampler stream."""
+
+    sketch: str = "countsketch"
+    depth: int = 5
+    width: int = 10000
+    probability: float = 0.05
+    top_k: int = 100
+    seed: int = 0
+
+    def __call__(self, shard_id: int) -> NitroSketch:
+        cls = _SKETCHES.get(self.sketch)
+        if cls is None:
+            raise ValueError(
+                "unknown sketch %r (choose from %s)"
+                % (self.sketch, sorted(_SKETCHES))
+            )
+        config = NitroConfig(
+            probability=self.probability, top_k=self.top_k, seed=self.seed
+        ).for_shard(shard_id)
+        return NitroSketch(cls(self.depth, self.width, self.seed), config)

@@ -1,0 +1,210 @@
+"""Lock-free epoch hand-off: seqlock mailboxes in shared memory.
+
+Each worker owns one single-producer/single-consumer mailbox through
+which it publishes its per-epoch NSKW frame to the parent.  The
+protocol is a classic sequence-numbered seqlock plus an explicit ack
+slot for flow control:
+
+* header (eight int64 slots, 64 bytes)::
+
+      SEQ    writer-owned sequence number; odd while a write is in
+             flight, even when the payload is stable
+      ACK    reader-owned: highest epoch the parent has consumed
+             (-1 initially) -- the writer's flow-control signal
+      LEN    payload length in bytes
+      EPOCH  epoch number the payload describes
+      FINAL  1 when this is the worker's last frame
+
+* writer: wait until ``ACK >= epoch - 1`` (the parent consumed the
+  previous frame, so overwriting is safe), bump SEQ to odd, copy the
+  payload, publish LEN/EPOCH/FINAL, bump SEQ to even.
+* reader: snapshot SEQ; if even and unseen, copy the payload out and
+  re-check SEQ -- an unchanged sequence proves the copy was not torn.
+  Acking is a separate step so the parent can CRC-validate the frame
+  *before* releasing the slot.
+
+No locks, no semaphores: one writer, one reader, and the payload is a
+CRC-checked NSKW frame, so even a torn read that slipped past the
+seqlock (it cannot, but defense in depth is cheap) would be rejected at
+decode time.  The mailbox survives its writer crashing mid-publish: a
+respawned worker re-normalises SEQ to odd before writing, so a
+half-written frame is never observed as stable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised via parallel_unavailable_reason
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Header layout (int64 slot indices).
+_SEQ, _ACK, _LEN, _EPOCH, _FINAL = 0, 1, 2, 3, 4
+_HEADER_BYTES = 64
+_POLL_SECONDS = 0.0002
+
+
+class MailboxTimeout(RuntimeError):
+    """A publish or consume exceeded its deadline."""
+
+
+def parallel_unavailable_reason() -> Optional[str]:
+    """Why the parallel engine cannot run here, or None when it can.
+
+    ``multiprocessing.shared_memory`` needs a POSIX shm mount (or the
+    Windows equivalent); sandboxes and some containers lack it.  Callers
+    (tests, selfcheck) skip gracefully on a non-None reason.
+    """
+    if _shared_memory is None:
+        return "multiprocessing.shared_memory is not importable"
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=8)
+    except Exception as exc:  # OSError, PermissionError, FileNotFoundError
+        return "shared memory unavailable: %s" % (exc,)
+    try:
+        probe.close()
+        probe.unlink()
+    except Exception:
+        pass
+    return None
+
+
+def create_block(nbytes: int):
+    """Create a shared-memory block (parent side; parent must unlink)."""
+    if _shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is not available")
+    return _shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+
+
+def attach_block(name: str):
+    """Attach to an existing block (child side).
+
+    Workers share the parent's resource-tracker process, whose name
+    cache is a set: the attach-side duplicate registration is a no-op
+    and the parent's single ``unlink`` clears it.  Workers therefore
+    must NOT unregister (that would steal the parent's entry and make
+    the final unlink complain), and must not unlink -- the creating
+    side owns the segment's lifetime.
+    """
+    if _shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is not available")
+    return _shared_memory.SharedMemory(name=name)
+
+
+class EpochMailbox:
+    """One worker's seqlock mailbox (see module docstring).
+
+    The parent constructs with :meth:`create` and eventually calls
+    :meth:`destroy`; workers attach by name with :meth:`attach` and only
+    :meth:`close`.
+    """
+
+    def __init__(self, shm, capacity: int, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.capacity = capacity
+        self._header = np.frombuffer(shm.buf, dtype=np.int64, count=8)
+        self._payload = np.frombuffer(
+            shm.buf, dtype=np.uint8, offset=_HEADER_BYTES, count=capacity
+        )
+        # Reader-side bookkeeping (meaningless on the writer side).
+        self._consumed_seq = 0
+        self._pending_seq = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: int) -> "EpochMailbox":
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %d" % capacity)
+        shm = create_block(_HEADER_BYTES + capacity)
+        mailbox = cls(shm, capacity, owner=True)
+        mailbox._header[:] = 0
+        mailbox._header[_ACK] = -1
+        return mailbox
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "EpochMailbox":
+        return cls(attach_block(name), capacity, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        # Views into shm.buf must die before close() or it raises.
+        self._header = None
+        self._payload = None
+        self._shm.close()
+
+    def destroy(self) -> None:
+        if not self._owner:
+            raise RuntimeError("only the creating side may destroy a mailbox")
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    # -- writer side -----------------------------------------------------------
+
+    def publish(
+        self,
+        payload: bytes,
+        epoch: int,
+        final: bool = False,
+        timeout: float = 120.0,
+    ) -> None:
+        """Publish one epoch frame; blocks until the previous was acked."""
+        if len(payload) > self.capacity:
+            raise ValueError(
+                "payload of %d bytes exceeds mailbox capacity %d"
+                % (len(payload), self.capacity)
+            )
+        deadline = time.perf_counter() + timeout
+        while int(self._header[_ACK]) < epoch - 1:
+            if time.perf_counter() > deadline:
+                raise MailboxTimeout(
+                    "parent never acked epoch %d (ack=%d)"
+                    % (epoch - 1, int(self._header[_ACK]))
+                )
+            time.sleep(_POLL_SECONDS)
+        seq = int(self._header[_SEQ])
+        # Next odd value: +1 from even (normal), +2 from odd (a previous
+        # writer died mid-publish; never step through even mid-write).
+        self._header[_SEQ] = seq + (1 if seq % 2 == 0 else 2)
+        self._payload[: len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+        self._header[_LEN] = len(payload)
+        self._header[_EPOCH] = epoch
+        self._header[_FINAL] = 1 if final else 0
+        self._header[_SEQ] += 1  # even: stable
+
+    # -- reader side -----------------------------------------------------------
+
+    def poll(self) -> Optional[Tuple[bytes, int, bool]]:
+        """Non-blocking read of a new stable frame; None when absent.
+
+        Does *not* ack: call :meth:`ack` after the frame validated, so a
+        corrupt frame never releases the slot it would be merged from.
+        """
+        seq = int(self._header[_SEQ])
+        if seq % 2 == 1 or seq == self._consumed_seq:
+            return None
+        length = int(self._header[_LEN])
+        epoch = int(self._header[_EPOCH])
+        final = bool(self._header[_FINAL])
+        payload = bytes(self._payload[:length])
+        if int(self._header[_SEQ]) != seq:
+            return None  # torn: writer restarted mid-copy; retry later
+        self._pending_seq = seq
+        return payload, epoch, final
+
+    def ack(self, epoch: int) -> None:
+        """Mark the last polled frame consumed; unblocks the writer."""
+        self._consumed_seq = self._pending_seq
+        self._header[_ACK] = epoch

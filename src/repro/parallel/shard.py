@@ -1,0 +1,81 @@
+"""RSS flow-hash sharding and epoch slicing for the parallel data plane.
+
+A multi-queue NIC distributes packets to receive queues by hashing the
+flow 5-tuple (RSS); every packet of a flow lands on one queue, so the
+per-queue sketch stays per-flow-consistent and shard merges never split
+a flow's counts across hash disagreements.  This module reproduces that
+assignment in software with the same ``MultiplyShiftHash(workers,
+rss_seed ^ RSS_SALT)`` the :class:`~repro.switchsim.MultiCoreSimulator`
+uses -- the modeled simulator and the measured engine shard a trace
+*identically*, so their results are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hashing.families import MultiplyShiftHash
+
+#: Salt mixed into the RSS seed; matches ``MultiCoreSimulator`` so both
+#: the cost-model path and the measured path produce the same shards.
+RSS_SALT = 0x2552
+
+#: Shard-id sentinel handed to a monitor factory when constructing the
+#: control plane's merge base: the monitor that only ever receives
+#: merges and never ingests.  Factories must return a monitor built
+#: from the *base* seed for it (see ``NitroConfig.for_shard``).
+MERGE_SHARD = -1
+
+#: RSS queue counts fit in a byte on every NIC this models; keeping the
+#: assignment array uint8 makes the shared input block 8x smaller than
+#: the keys it annotates.
+MAX_WORKERS = 255
+
+
+def rss_assignments(
+    keys: "np.ndarray", workers: int, rss_seed: int = 0
+) -> "np.ndarray":
+    """Per-packet worker assignment (uint8) by RSS flow hash.
+
+    Deterministic in (keys, workers, rss_seed); all packets of a flow
+    map to the same worker.
+    """
+    if not 1 <= workers <= MAX_WORKERS:
+        raise ValueError(
+            "workers must be in [1, %d], got %d" % (MAX_WORKERS, workers)
+        )
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    if workers == 1:
+        return np.zeros(len(keys), dtype=np.uint8)
+    rss = MultiplyShiftHash(workers, rss_seed ^ RSS_SALT)
+    return rss.batch(keys).astype(np.uint8)
+
+
+def shard_counts(assignments: "np.ndarray", workers: int) -> "np.ndarray":
+    """Packets per worker under an assignment vector."""
+    return np.bincount(assignments, minlength=workers).astype(np.int64)
+
+
+def epoch_bounds(
+    n_packets: int, epoch_packets: Optional[int]
+) -> List[Tuple[int, int]]:
+    """Split ``[0, n_packets)`` into epoch [start, stop) windows.
+
+    ``epoch_packets=None`` (or a window at least as large as the trace)
+    means one epoch.  An empty trace still gets one empty epoch so the
+    hand-off protocol runs end to end -- workers always publish at least
+    one (final) frame, which is what lets the parent distinguish "no
+    traffic" from "worker died before reporting".
+    """
+    if epoch_packets is not None and epoch_packets < 1:
+        raise ValueError("epoch_packets must be >= 1, got %d" % epoch_packets)
+    if n_packets <= 0:
+        return [(0, 0)]
+    if epoch_packets is None or epoch_packets >= n_packets:
+        return [(0, n_packets)]
+    return [
+        (start, min(start + epoch_packets, n_packets))
+        for start in range(0, n_packets, epoch_packets)
+    ]

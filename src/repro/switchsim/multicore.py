@@ -11,6 +11,19 @@ the control plane (see :meth:`repro.core.NitroSketch.merge`).
 
 Scaling is near-linear until the NIC's delivery ceiling binds -- the
 same story real OVS-DPDK deployments show.
+
+Two kinds of numbers live here, and they are labeled as such:
+
+* **modeled** -- ``capacity_mpps``/``achieved_mpps`` etc. come from the
+  per-operation :class:`~repro.switchsim.costmodel.CostModel`, i.e.
+  what an N-core DPDK deployment *would* do; they are deterministic and
+  host-independent;
+* **measured** -- :meth:`MultiCoreSimulator.measure` runs the *real*
+  multiprocess engine (:class:`~repro.parallel.ParallelIngestEngine`)
+  over the same RSS shards (same hash, same salt, byte-identical shard
+  assignment) and reports actual wall/CPU-clock throughput on this
+  host.  ``run(..., measure_with=...)`` attaches that to the result so
+  the model can be checked against reality in one call.
 """
 
 from __future__ import annotations
@@ -29,7 +42,15 @@ from repro.traffic.traces import Trace
 
 @dataclass
 class MultiCoreResult:
-    """Aggregate of one multi-core run."""
+    """Aggregate of one multi-core run.
+
+    ``offered_mpps`` / ``capacity_mpps`` / ``achieved_mpps`` /
+    ``achieved_gbps`` are **modeled** rates from the cost model -- the
+    deterministic what-if.  ``measured``, when present, is a
+    :class:`~repro.parallel.ParallelRunResult` from a real multiprocess
+    ingest over the same RSS shards -- actual throughput on this host,
+    with its own honest clock breakdown.
+    """
 
     cores: int
     offered_mpps: float
@@ -37,12 +58,26 @@ class MultiCoreResult:
     achieved_mpps: float
     achieved_gbps: float
     per_core: List[SimulationResult]
+    #: A real multiprocess run over the same shards (None unless requested).
+    measured: Optional[object] = None
 
     def scaling_efficiency(self, single_core_capacity: float) -> float:
-        """capacity(N) / (N * capacity(1)) -- 1.0 is perfect scaling."""
+        """Modeled capacity(N) / (N * capacity(1)) -- 1.0 is perfect scaling."""
         if single_core_capacity <= 0 or self.cores == 0:
             return 0.0
         return self.capacity_mpps / (self.cores * single_core_capacity)
+
+    @property
+    def measured_wall_mpps(self) -> Optional[float]:
+        """End-to-end measured rate (None when no measurement ran)."""
+        return self.measured.wall_mpps if self.measured is not None else None
+
+    @property
+    def measured_aggregate_cpu_mpps(self) -> Optional[float]:
+        """Sum of per-worker CPU-clock rates (None when no measurement ran)."""
+        return (
+            self.measured.aggregate_cpu_mpps if self.measured is not None else None
+        )
 
 
 class MultiCoreSimulator:
@@ -72,6 +107,7 @@ class MultiCoreSimulator:
         self.daemon_factory = daemon_factory
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.nic = nic
+        self.rss_seed = rss_seed
         self._rss = MultiplyShiftHash(cores, rss_seed ^ 0x2552)
 
     def shard(self, trace: Trace) -> List[Trace]:
@@ -99,11 +135,59 @@ class MultiCoreSimulator:
             )
         return shards
 
+    def measure(
+        self,
+        trace: Trace,
+        monitor_factory: Callable[[int], object],
+        strategy: str = "shared",
+        batch_size: int = 16_384,
+        epoch_packets: Optional[int] = None,
+        **engine_kwargs,
+    ):
+        """Run the *real* multiprocess engine over this simulator's shards.
+
+        Builds a :class:`~repro.parallel.ParallelIngestEngine` with one
+        worker per core and hands it this simulator's own RSS assignment
+        (same hash, same salt), so the measured run ingests byte-for-byte
+        the shards the cost model priced.  ``monitor_factory`` must be
+        picklable -- use :class:`~repro.parallel.VanillaFactory` or
+        :class:`~repro.parallel.NitroFactory`.
+
+        Returns the engine's :class:`~repro.parallel.ParallelRunResult`
+        (measured wall/CPU-clock rates; see its docstring for what each
+        clock means on a time-sliced host).
+        """
+        import numpy as np
+
+        from repro.parallel import ParallelIngestEngine
+
+        engine = ParallelIngestEngine(
+            monitor_factory,
+            workers=self.cores,
+            strategy=strategy,
+            epoch_packets=epoch_packets,
+            batch_size=batch_size,
+            rss_seed=self.rss_seed,
+            **engine_kwargs,
+        )
+        assignments = self._rss.batch(trace.keys).astype(np.uint8)
+        return engine.run(trace.keys, assignments=assignments)
+
     def run(
-        self, trace: Trace, batch_size: int = 32, offered_gbps: Optional[float] = 40.0
+        self,
+        trace: Trace,
+        batch_size: int = 32,
+        offered_gbps: Optional[float] = 40.0,
+        measure_with: Optional[Callable[[int], object]] = None,
     ) -> MultiCoreResult:
         """Simulate all cores; aggregate capacity is their sum, capped by
-        the NIC's delivery ceiling."""
+        the NIC's delivery ceiling.
+
+        ``measure_with`` (a picklable monitor factory) additionally runs
+        the real multiprocess engine over the same shards and attaches
+        its :class:`~repro.parallel.ParallelRunResult` as ``measured`` --
+        modeled and measured rates side by side in one result.
+        """
         shards = self.shard(trace)
         per_core: List[SimulationResult] = []
         for core, shard in enumerate(shards):
@@ -130,7 +214,7 @@ class MultiCoreSimulator:
         achieved = min(offered, capacity, deliverable)
         from repro.metrics.throughput import mpps_to_gbps
 
-        return MultiCoreResult(
+        result = MultiCoreResult(
             cores=self.cores,
             offered_mpps=offered,
             capacity_mpps=capacity,
@@ -138,3 +222,6 @@ class MultiCoreSimulator:
             achieved_gbps=mpps_to_gbps(achieved, trace.mean_packet_size),
             per_core=per_core,
         )
+        if measure_with is not None:
+            result.measured = self.measure(trace, measure_with)
+        return result

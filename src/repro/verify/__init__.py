@@ -12,6 +12,7 @@ must hold under load.  ``nitrosketch selfcheck [--quick]`` runs it all.
 from repro.verify.differential import implied_epsilon, run_differential_checks
 from repro.verify.harness import SUITES, run_selfcheck
 from repro.verify.invariants import install_strict_hook, run_invariant_checks
+from repro.verify.parallel import run_parallel_checks
 from repro.verify.result import CheckResult, InvariantViolation, VerifyReport
 from repro.verify.statistical import run_statistical_checks
 
@@ -24,6 +25,7 @@ __all__ = [
     "run_differential_checks",
     "run_statistical_checks",
     "run_invariant_checks",
+    "run_parallel_checks",
     "install_strict_hook",
     "implied_epsilon",
 ]

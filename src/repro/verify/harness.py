@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.verify.differential import run_differential_checks
 from repro.verify.invariants import run_invariant_checks
+from repro.verify.parallel import run_parallel_checks
 from repro.verify.result import CheckResult, VerifyReport
 from repro.verify.statistical import run_statistical_checks
 
@@ -22,6 +23,7 @@ SUITES: List[Tuple[str, Callable[..., List[CheckResult]]]] = [
     ("differential", run_differential_checks),
     ("statistical", run_statistical_checks),
     ("invariant", run_invariant_checks),
+    ("parallel", run_parallel_checks),
 ]
 
 

@@ -1,0 +1,317 @@
+"""Parallel-plane checks: multiprocess ingest against sequential oracles.
+
+The parallel engine's whole correctness story is that spreading a trace
+across worker processes changes *throughput only*.  This suite proves it
+on a live multiprocess run:
+
+* **merge strategy** is bit-exact: the parallel run's merged monitor
+  serializes to the *same bytes* as the in-process sequential oracle
+  (:meth:`~repro.parallel.ParallelIngestEngine.run_sequential`), which
+  performs the identical shard/batch/merge call sequence without
+  processes;
+* **shared strategy** is bit-exact for vanilla sketches: summed worker
+  banks equal one sketch that ingested the whole trace (integral float64
+  adds commute exactly below ``2**53``);
+* **shared-strategy Nitro** lands inside the Theorem-2 ``eps * L2``
+  envelope on the heaviest true flows (per-worker sampler streams are
+  independent, so counters differ per-draw but estimates must not);
+* **determinism**: two identical parallel runs produce byte-identical
+  monitors -- scheduling must not leak into results;
+* **corruption is fatal**: a worker whose epoch frame is bit-flipped in
+  flight (``FrameCorruptionPlan``) must raise
+  :class:`~repro.parallel.ShardCorruptionError`, never merge garbage;
+* **crashes recover exactly**: a worker killed mid-epoch
+  (``WorkerCrashPlan``) is respawned from its last published frame and
+  the final merged monitor is still byte-identical to the oracle.
+
+Hosts without a usable ``multiprocessing.shared_memory`` mount (some
+sandboxes) get passing "skipped" results rather than failures: the
+engine itself refuses to run there, so there is nothing to verify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.control.export import serialize_monitor
+from repro.parallel import (
+    NitroFactory,
+    ParallelIngestEngine,
+    ShardCorruptionError,
+    VanillaFactory,
+    parallel_unavailable_reason,
+)
+from repro.faults import FrameCorruptionPlan, WorkerCrashPlan
+from repro.traffic.traces import Trace, caida_like
+from repro.verify.differential import (
+    ENVELOPE_SLACK,
+    WITHIN_FRACTION,
+    implied_epsilon,
+)
+from repro.verify.result import CheckResult
+
+_WORKERS = 3
+
+
+def _default_trace(packets: int, seed: int) -> Trace:
+    return caida_like(packets, n_flows=max(200, packets // 20), seed=seed)
+
+
+def _skip(name: str, reason: str) -> CheckResult:
+    return CheckResult.ok(name, "skipped: %s" % reason, skipped=1.0)
+
+
+def check_merge_parallel_vs_sequential(
+    packets: int = 12_000, seed: int = 0
+) -> CheckResult:
+    """Multi-epoch merge-strategy run must be byte-exact vs the oracle."""
+    name = "parallel.merge_vs_sequential"
+    reason = parallel_unavailable_reason()
+    if reason:
+        return _skip(name, reason)
+    trace = _default_trace(packets, seed)
+    factory = NitroFactory(
+        sketch="countsketch", depth=5, width=2048, probability=0.1, seed=seed
+    )
+
+    def build() -> ParallelIngestEngine:
+        return ParallelIngestEngine(
+            factory,
+            workers=_WORKERS,
+            strategy="merge",
+            epoch_packets=packets // 3,
+            batch_size=1024,
+        )
+
+    parallel = build().run(trace.keys)
+    sequential = build().run_sequential(trace.keys)
+    if serialize_monitor(parallel.monitor) != serialize_monitor(
+        sequential.monitor
+    ):
+        return CheckResult.fail(
+            name,
+            "parallel merge over %d workers diverged from the sequential "
+            "oracle (serialized bytes differ)" % _WORKERS,
+        )
+    return CheckResult.ok(
+        name,
+        "merge strategy byte-exact vs sequential oracle (%d workers, "
+        "%d epochs, %d packets)" % (_WORKERS, parallel.epochs, packets),
+        packets=float(packets),
+        epochs=float(parallel.epochs),
+    )
+
+
+def check_shared_vanilla_vs_whole(packets: int = 12_000, seed: int = 0) -> CheckResult:
+    """Summed shared-memory banks must equal one whole-trace sketch."""
+    name = "parallel.shared_vanilla_bit_exact"
+    reason = parallel_unavailable_reason()
+    if reason:
+        return _skip(name, reason)
+    trace = _default_trace(packets, seed)
+    factory = VanillaFactory(sketch="countmin", depth=4, width=2048, seed=seed)
+    engine = ParallelIngestEngine(
+        factory, workers=_WORKERS, strategy="shared", batch_size=1024
+    )
+    result = engine.run(trace.keys)
+    whole = factory(-1)
+    whole.update_batch(trace.keys)
+    if not np.array_equal(result.monitor.counters, whole.counters):
+        delta = float(np.max(np.abs(result.monitor.counters - whole.counters)))
+        return CheckResult.fail(
+            name,
+            "shared-memory banks summed over %d workers diverge from a "
+            "single whole-trace sketch (max |delta| %g)" % (_WORKERS, delta),
+            max_delta=delta,
+        )
+    return CheckResult.ok(
+        name,
+        "shared strategy bit-exact vs whole-trace CountMin "
+        "(%d workers, %d packets)" % (_WORKERS, packets),
+        packets=float(packets),
+    )
+
+
+def check_shared_nitro_envelope(
+    packets: int = 20_000,
+    seed: int = 0,
+    probability: float = 0.1,
+    width: int = 2048,
+    top_keys: int = 24,
+) -> CheckResult:
+    """Shared-strategy Nitro estimates must sit in the eps*L2 envelope."""
+    name = "parallel.shared_nitro_envelope"
+    reason = parallel_unavailable_reason()
+    if reason:
+        return _skip(name, reason)
+    trace = _default_trace(packets, seed)
+    counts = trace.counts()
+    truth = dict(sorted(counts.items(), key=lambda item: -item[1])[:top_keys])
+    l2_true = math.sqrt(sum(value * value for value in counts.values()))
+    envelope = implied_epsilon(width, probability) * l2_true
+
+    engine = ParallelIngestEngine(
+        NitroFactory(
+            sketch="countsketch",
+            depth=5,
+            width=width,
+            probability=probability,
+            top_k=64,
+            seed=seed,
+        ),
+        workers=_WORKERS,
+        strategy="shared",
+        batch_size=2048,
+    )
+    result = engine.run(trace.keys)
+    errors = np.array(
+        [abs(result.monitor.query(key) - count) for key, count in truth.items()]
+    )
+    worst = float(np.max(errors))
+    within = float(np.mean(errors <= envelope))
+    if worst > ENVELOPE_SLACK * envelope or within < WITHIN_FRACTION:
+        return CheckResult.fail(
+            name,
+            "shared Nitro over %d workers: worst error %.1f vs envelope "
+            "%.1f (eps*L2), only %.0f%% of top-%d keys within 1x"
+            % (_WORKERS, worst, envelope, 100 * within, len(truth)),
+            worst_error=worst,
+            envelope=envelope,
+            within_fraction=within,
+        )
+    return CheckResult.ok(
+        name,
+        "shared Nitro over %d workers: worst error %.1f within %.1fx of "
+        "the eps*L2 envelope %.1f"
+        % (_WORKERS, worst, worst / envelope, envelope),
+        worst_error=worst,
+        envelope=envelope,
+        within_fraction=within,
+    )
+
+
+def check_parallel_determinism(packets: int = 8_000, seed: int = 0) -> CheckResult:
+    """Two identical parallel runs must produce byte-identical monitors."""
+    name = "parallel.determinism"
+    reason = parallel_unavailable_reason()
+    if reason:
+        return _skip(name, reason)
+    trace = _default_trace(packets, seed)
+
+    def run_once() -> bytes:
+        engine = ParallelIngestEngine(
+            NitroFactory(
+                sketch="countsketch", depth=5, width=1024,
+                probability=0.1, seed=seed,
+            ),
+            workers=_WORKERS,
+            strategy="merge",
+            epoch_packets=packets // 2,
+            batch_size=1024,
+        )
+        return serialize_monitor(engine.run(trace.keys).monitor)
+
+    if run_once() != run_once():
+        return CheckResult.fail(
+            name,
+            "two identical parallel runs produced different serialized "
+            "monitors -- scheduling leaked into results",
+        )
+    return CheckResult.ok(
+        name,
+        "re-running the parallel ingest is byte-identical "
+        "(%d workers, %d packets)" % (_WORKERS, packets),
+        packets=float(packets),
+    )
+
+
+def check_corruption_detected(packets: int = 6_000, seed: int = 0) -> CheckResult:
+    """A bit-flipped epoch frame must abort the run, not merge."""
+    name = "parallel.corruption_detected"
+    reason = parallel_unavailable_reason()
+    if reason:
+        return _skip(name, reason)
+    trace = _default_trace(packets, seed)
+    engine = ParallelIngestEngine(
+        NitroFactory(sketch="countsketch", depth=4, width=1024, seed=seed),
+        workers=_WORKERS,
+        strategy="merge",
+        batch_size=1024,
+        corruption_plan=FrameCorruptionPlan(worker=1, epoch=0, count=16, seed=seed),
+    )
+    try:
+        engine.run(trace.keys)
+    except ShardCorruptionError as exc:
+        return CheckResult.ok(
+            name,
+            "bit-flipped frame from worker %d rejected at CRC validation "
+            "(%s)" % (exc.worker, exc),
+            worker=float(exc.worker),
+        )
+    return CheckResult.fail(
+        name,
+        "a deliberately corrupted epoch frame was merged without any "
+        "ShardCorruptionError -- CRC validation is not protecting merges",
+    )
+
+
+def check_crash_recovery(packets: int = 12_000, seed: int = 0) -> CheckResult:
+    """A worker killed mid-epoch must be respawned with no accuracy loss."""
+    name = "parallel.crash_recovery"
+    reason = parallel_unavailable_reason()
+    if reason:
+        return _skip(name, reason)
+    trace = _default_trace(packets, seed)
+    factory = NitroFactory(
+        sketch="countsketch", depth=5, width=1024, probability=0.1, seed=seed
+    )
+
+    def build(crash_plan=None) -> ParallelIngestEngine:
+        return ParallelIngestEngine(
+            factory,
+            workers=_WORKERS,
+            strategy="merge",
+            epoch_packets=packets // 3,
+            batch_size=1024,
+            crash_plan=crash_plan,
+        )
+
+    crashed = build(WorkerCrashPlan(worker=1, epoch=1, fraction=0.5)).run(trace.keys)
+    if crashed.restarts != 1:
+        return CheckResult.fail(
+            name,
+            "expected exactly 1 restart after the injected crash, saw %d"
+            % crashed.restarts,
+            restarts=float(crashed.restarts),
+        )
+    oracle = build().run_sequential(trace.keys)
+    if serialize_monitor(crashed.monitor) != serialize_monitor(oracle.monitor):
+        return CheckResult.fail(
+            name,
+            "post-recovery merged monitor diverged from the sequential "
+            "oracle (serialized bytes differ)",
+        )
+    return CheckResult.ok(
+        name,
+        "worker crash mid-epoch recovered from its last published frame; "
+        "merged result byte-exact vs the oracle (1 restart)",
+        restarts=1.0,
+        packets=float(packets),
+    )
+
+
+def run_parallel_checks(quick: bool = False, seed: int = 0) -> List[CheckResult]:
+    """The full parallel suite (scaled down under ``quick``)."""
+    packets = 6_000 if quick else 12_000
+    envelope_packets = 10_000 if quick else 20_000
+    return [
+        check_merge_parallel_vs_sequential(packets=packets, seed=seed),
+        check_shared_vanilla_vs_whole(packets=packets, seed=seed),
+        check_shared_nitro_envelope(packets=envelope_packets, seed=seed),
+        check_parallel_determinism(packets=packets // 2 * 2, seed=seed),
+        check_corruption_detected(packets=packets // 2, seed=seed),
+        check_crash_recovery(packets=packets, seed=seed),
+    ]

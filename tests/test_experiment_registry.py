@@ -31,6 +31,7 @@ TINY_SCALE = {
     "ablation": 0.01,
     "adaptive": 0.2,
     "validation": 0.2,
+    "parallel_scaling": 0.1,
 }
 
 

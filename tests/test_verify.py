@@ -76,6 +76,18 @@ class TestCleanTreePasses:
         out = capsys.readouterr().out
         assert "invariant." in out and "differential." not in out
 
+    def test_parallel_suite_registered(self):
+        from repro.verify import SUITES
+
+        assert "parallel" in {name for name, _ in SUITES}
+
+    def test_cli_parallel_suite(self, capsys):
+        """The parallel suite passes (or skips gracefully) via the CLI."""
+        assert main(["selfcheck", "--quick", "--suite", "parallel"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel.merge_vs_sequential" in out
+        assert "FAIL" not in out
+
 
 # -- regression teeth: each fixed bug, reverted, must fail its check ------
 
