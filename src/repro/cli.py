@@ -31,7 +31,14 @@ Subcommands:
   parallel-smoke jobs' entry point; see docs/VERIFICATION.md);
 * ``parallel`` -- run the multiprocess shared-memory ingest engine over
   a trace and report per-worker and aggregate throughput honestly
-  (wall, CPU-clock, busy-wall -- see docs/PARALLELISM.md).
+  (wall, CPU-clock, busy-wall -- see docs/PARALLELISM.md);
+* ``trace`` -- run the parallel engine with span tracing on and render
+  the per-epoch trace tree: worker ingest and mailbox-publish spans
+  (shipped across process boundaries in the epoch-frame metadata)
+  nested under the parent's epoch/CRC/merge spans;
+* ``profile`` -- ingest a trace with the per-stage latency profiler
+  attached and report count/total/p50/p95/p99 per pipeline stage plus
+  flamegraph-compatible collapsed stacks (see docs/OBSERVABILITY.md).
 
 Examples::
 
@@ -48,6 +55,8 @@ Examples::
     nitrosketch selfcheck --suite differential --seed 3
     nitrosketch selfcheck --suite parallel --quick
     nitrosketch parallel --workers 4 --packets 400000
+    nitrosketch trace --workers 2 --packets 100000
+    nitrosketch profile --packets 200000 --sample-every 4
     nitrosketch top --url http://127.0.0.1:9109/snapshot
 """
 
@@ -468,6 +477,151 @@ def cmd_parallel(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Parallel run with span tracing; render the per-epoch trace tree."""
+    from repro.parallel import (
+        ParallelIngestEngine,
+        VanillaFactory,
+        parallel_unavailable_reason,
+    )
+    from repro.telemetry import Telemetry, render_span_tree
+    from repro.traffic.traces import caida_like
+
+    if args.trace is not None:
+        trace = _load_trace(args.trace)
+    else:
+        trace = caida_like(args.packets, seed=args.seed)
+    epoch_packets = args.epoch_packets or max(1, len(trace) // max(args.epochs, 1))
+    telemetry = Telemetry()
+    factory = VanillaFactory(
+        sketch=args.sketch, depth=args.depth, width=args.width, seed=args.seed
+    )
+    engine = ParallelIngestEngine(
+        factory,
+        workers=args.workers,
+        strategy="merge",
+        epoch_packets=epoch_packets,
+        batch_size=args.batch_size,
+        telemetry=telemetry,
+    )
+    reason = parallel_unavailable_reason()
+    if args.sequential or reason is not None:
+        if reason is not None and not args.sequential:
+            print(
+                "trace: %s; falling back to the in-process oracle" % reason,
+                file=sys.stderr,
+            )
+        result = engine.run_sequential(trace.keys)
+    else:
+        result = engine.run(trace.keys)
+    spans = telemetry.spans.spans()
+    print(
+        "trace: %d packets, %d worker(s), %d epoch(s), %d span(s) across "
+        "%d trace(s)"
+        % (
+            result.packets,
+            result.workers,
+            result.epochs,
+            len(spans),
+            len(telemetry.spans.trace_ids()),
+        ),
+        file=sys.stderr,
+    )
+    print(render_span_tree(spans), end="")
+    if args.out:
+        count = telemetry.spans.write_jsonl(args.out)
+        print("wrote %d spans to %s" % (count, args.out), file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profiled ingest: per-stage latency table + collapsed stacks."""
+    import time as _time
+
+    from repro.telemetry import HistoryStore, Telemetry
+    from repro.telemetry.profile import (
+        StageProfiler,
+        collapsed_stacks,
+        render_stage_table,
+    )
+    from repro.traffic.traces import caida_like
+
+    if args.sample_every < 1:
+        print("profile: --sample-every must be >= 1", file=sys.stderr)
+        return 2
+    if args.trace is not None:
+        trace = _load_trace(args.trace)
+    else:
+        trace = caida_like(args.packets, seed=args.seed)
+    telemetry = Telemetry()
+    profiler = StageProfiler(telemetry, sample_every=args.sample_every)
+    monitor = _build_monitor(args)
+    if hasattr(monitor, "telemetry"):
+        monitor.telemetry = telemetry
+    if hasattr(monitor, "profiler"):
+        monitor.profiler = profiler
+    elif hasattr(monitor, "sketches"):  # UnivMon: profile every level
+        for level in monitor.sketches:
+            if hasattr(level, "profiler"):
+                level.profiler = profiler
+    history = HistoryStore(capacity=args.history_capacity)
+    keys = trace.keys
+    n_batches = max(1, -(-len(keys) // args.batch_size))
+    history_every = max(1, n_batches // 64)
+    for index, start in enumerate(range(0, len(keys), args.batch_size)):
+        monitor.update_batch(keys[start : start + args.batch_size])
+        if index % history_every == 0:
+            history.record(telemetry.snapshot())
+    history.record(telemetry.snapshot())
+    print(
+        "profile: %d packets in %d batches, profiled every %d batch(es) "
+        "(%d sampled), %d history sample(s)"
+        % (
+            len(keys),
+            profiler.batches_seen,
+            args.sample_every,
+            profiler.batches_profiled,
+            len(history),
+        ),
+        file=sys.stderr,
+    )
+    print(render_stage_table(telemetry.registry), end="")
+    stacks = collapsed_stacks(telemetry.registry)
+    if args.collapsed_out:
+        with open(args.collapsed_out, "w") as handle:
+            handle.write(stacks)
+        print("wrote collapsed stacks to %s" % args.collapsed_out, file=sys.stderr)
+    else:
+        print()
+        print("collapsed stacks (flamegraph.pl / speedscope):")
+        print(stacks, end="")
+    if args.serve:
+        from repro.telemetry import TelemetryServer
+        from repro.telemetry.health import HealthEvaluator
+
+        server = TelemetryServer(
+            telemetry,
+            host=args.host,
+            port=args.port,
+            health=HealthEvaluator(telemetry),
+            history=history,
+        ).start()
+        print(
+            "serving /metrics /snapshot /trace /spans /history /health on "
+            "http://%s:%d (Ctrl-C to stop)" % (args.host, server.port),
+            file=sys.stderr,
+        )
+        try:
+            while True:  # record one history sample per second
+                _time.sleep(1.0)
+                history.record(telemetry.snapshot())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+    return 0
+
+
 def cmd_experiment(args) -> int:
     module = importlib.import_module("repro.experiments.%s" % args.name)
     kwargs = {}
@@ -664,6 +818,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parallel.add_argument("--seed", type=int, default=0)
     parallel.set_defaults(func=cmd_parallel)
+
+    trace = sub.add_parser(
+        "trace",
+        help="parallel run with span tracing; render the per-epoch trace tree",
+    )
+    trace.add_argument(
+        "trace", nargs="?", default=None, help=".npz/.pcap trace (default: synthetic)"
+    )
+    trace.add_argument("--packets", type=int, default=100_000,
+                       help="synthetic trace size when no trace file is given")
+    trace.add_argument("--workers", type=int, default=2)
+    trace.add_argument("--epochs", type=int, default=2,
+                       help="epoch count when --epoch-packets is not given")
+    trace.add_argument("--epoch-packets", type=int, default=None)
+    trace.add_argument(
+        "--sketch", choices=("countmin", "countsketch", "kary"), default="countmin"
+    )
+    trace.add_argument("--depth", type=int, default=4)
+    trace.add_argument("--width", type=int, default=8_192)
+    trace.add_argument("--batch-size", type=int, default=16_384)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--sequential", action="store_true",
+        help="use the in-process sequential oracle (same spans, no processes)",
+    )
+    trace.add_argument("--out", default=None, help="write the span JSONL here")
+    trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-stage latency profile + collapsed stacks (docs/OBSERVABILITY.md)",
+    )
+    profile.add_argument(
+        "trace", nargs="?", default=None, help=".npz/.pcap trace (default: synthetic)"
+    )
+    profile.add_argument("--packets", type=int, default=200_000,
+                         help="synthetic trace size when no trace file is given")
+    profile.add_argument(
+        "--sample-every", type=int, default=4,
+        help="profile every Nth batch (1 = every batch)",
+    )
+    profile.add_argument("--batch-size", type=int, default=16_384)
+    profile.add_argument(
+        "--collapsed-out", default=None,
+        help="write flamegraph collapsed stacks here instead of stdout",
+    )
+    profile.add_argument("--history-capacity", type=int, default=512)
+    profile.add_argument(
+        "--serve", action="store_true",
+        help="serve /metrics /snapshot /trace /spans /history /health after the run",
+    )
+    profile.add_argument("--host", default="127.0.0.1")
+    profile.add_argument("--port", type=int, default=9109)
+    _add_monitor_arguments(profile)
+    profile.set_defaults(func=cmd_profile)
 
     return parser
 

@@ -461,6 +461,16 @@ def serialize_epoch_frame(meta: Dict[str, Any], monitor=None) -> bytes:
     is what makes the mailbox hand-off safe against torn reads and bit
     rot (the embedded monitor frame carries its own CRC too, so damage
     is double-checked).
+
+    Distributed-tracing context rides in ``meta["trace"]`` -- an
+    optional JSON block ``{"trace_id", "epoch_span_id", "span_id",
+    "spans": [...]}`` written by the parallel workers (see
+    :mod:`repro.telemetry.spans`): the per-epoch trace id, the parent
+    epoch span's id, the worker's own ingest span id, and the worker's
+    finished spans as plain dicts.  The parent imports the spans into
+    its :class:`~repro.telemetry.spans.SpanTracer`, reassembling one
+    coherent per-epoch trace across process boundaries.  Consumers that
+    predate the block ignore it: it is ordinary header JSON.
     """
     header: Dict[str, Any] = {
         "class": "EpochFrame",

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.control.tasks import MeasurementTask, TaskReport
 from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.spans import make_span_id
 from repro.traffic.traces import Trace
 
 
@@ -195,11 +196,25 @@ class ControlPlane:
             start = epoch * epoch_packets
             stop = min(start + epoch_packets, len(trace))
             epoch_trace = trace.slice(start, stop)
+            # The workers stamped their frames with the epoch's trace
+            # context; task-evaluation spans join that trace so the
+            # whole ingest -> merge -> evaluate pipeline is one tree.
+            trace_ctx = None
+            for meta in metas:
+                block = meta.get("trace")
+                if isinstance(block, dict) and block.get("trace_id"):
+                    trace_ctx = (
+                        str(block["trace_id"]),
+                        block.get("epoch_span_id"),
+                    )
+                    break
             with telemetry.span("control_epoch_seconds"):
                 if hasattr(merged, "telemetry"):
                     merged.telemetry = telemetry
                 reports.append(
-                    self._evaluate_epoch(merged, epoch, epoch_trace, epoch)
+                    self._evaluate_epoch(
+                        merged, epoch, epoch_trace, epoch, trace_ctx=trace_ctx
+                    )
                 )
             telemetry.count("control_epochs_total")
             telemetry.event(
@@ -213,7 +228,12 @@ class ControlPlane:
         return reports, result
 
     def _evaluate_epoch(
-        self, monitor, epoch: int, epoch_trace: Trace, offset: int
+        self,
+        monitor,
+        epoch: int,
+        epoch_trace: Trace,
+        offset: int,
+        trace_ctx: Optional[Tuple[str, Optional[str]]] = None,
     ) -> EpochReport:
         """Everything that happens at one epoch boundary, post-ingest.
 
@@ -222,6 +242,8 @@ class ControlPlane:
         shadow auditing, and interval checkpointing.  ``offset`` is the
         epoch's position within *this* run (it differs from ``epoch``
         after a checkpoint restore) and paces the checkpoint interval.
+        ``trace_ctx`` -- ``(trace_id, parent_span_id)`` from the data
+        plane -- nests per-task evaluation spans under the epoch span.
         """
         telemetry = self.telemetry
         self.monitors.append(monitor)
@@ -230,10 +252,28 @@ class ControlPlane:
         epoch_report = EpochReport(epoch=epoch, packets=len(epoch_trace))
         truth = epoch_trace.counts() if self.score else None
         for task in self.tasks:
+            if trace_ctx is not None:
+                trace_id, parent_id = trace_ctx
+                task_span = telemetry.start_span(
+                    "task.evaluate",
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    span_id=make_span_id(trace_id, "task.evaluate", task.name),
+                    task=task.name,
+                    epoch=epoch,
+                )
+            else:
+                task_span = None
             with telemetry.span("control_task_seconds", task=task.name):
-                report = task.evaluate(monitor, len(epoch_trace))
-                if truth is not None:
-                    report = task.score(report, truth)
+                if task_span is not None:
+                    with task_span:
+                        report = task.evaluate(monitor, len(epoch_trace))
+                        if truth is not None:
+                            report = task.score(report, truth)
+                else:
+                    report = task.evaluate(monitor, len(epoch_trace))
+                    if truth is not None:
+                        report = task.score(report, truth)
             epoch_report.reports[task.name] = report
             telemetry.event(
                 "control.task",

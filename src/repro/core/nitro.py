@@ -33,6 +33,7 @@ from repro.core.modes import AlwaysCorrectController, AlwaysLineRateController
 from repro.sketches.base import CanonicalSketch
 from repro.sketches.topk import TopK
 from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.profile import NULL_PROFILER
 
 #: Cycles the pre-processing stage spends on an *unsampled* packet: one
 #: batch-pointer advance plus the slot-counter decrement (Figure 7b,
@@ -89,6 +90,12 @@ class NitroSketch:
             self.correctness = AlwaysCorrectController(config, sketch)
             self.sampler.set_probability(1.0)
         self._telemetry = NULL_TELEMETRY
+        #: Per-stage latency profiler (see
+        #: :class:`repro.telemetry.profile.StageProfiler`).  The default
+        #: null profiler costs one method call per batch; attach a real
+        #: one to decompose batch ingest into geometric_skip / row_hash
+        #: / scatter / query stage histograms.
+        self.profiler = NULL_PROFILER
         #: Optional callable invoked as ``hook(self)`` after every
         #: :meth:`update_batch`.  The verify harness installs one that
         #: raises on any :meth:`check_invariants` violation; ``None``
@@ -280,6 +287,8 @@ class NitroSketch:
         count = len(keys)
         if count == 0:
             return
+        profiler = self.profiler
+        profiler.tick()
         self.packets_seen += count
         self.ops.packet(count)
         self.ops.fixed(PREPROCESS_CYCLES_PER_PACKET * count)
@@ -296,8 +305,10 @@ class NitroSketch:
             # update is told not to recount it.
             self.packets_sampled += count
             self._telemetry.count("nitro_sampled_packets_total", count)
-            self.sketch.update_batch(keys, weights, count_packets=False)
-            self._offer_topk(keys, count)
+            with profiler.stage("exact_update"):
+                self.sketch.update_batch(keys, weights, count_packets=False)
+            with profiler.stage("query"):
+                self._offer_topk(keys, count)
             if self.correctness.on_batch(count):
                 self._set_probability(self.config.probability, "converged")
             return
@@ -307,8 +318,10 @@ class NitroSketch:
         if probability >= 1.0:
             self.packets_sampled += count
             self._telemetry.count("nitro_sampled_packets_total", count)
-            self.sketch.update_batch(keys, weights, count_packets=False)
-            self._offer_topk(keys, count)
+            with profiler.stage("exact_update"):
+                self.sketch.update_batch(keys, weights, count_packets=False)
+            with profiler.stage("query"):
+                self._offer_topk(keys, count)
             return
 
         total_slots = count * depth
@@ -318,31 +331,40 @@ class NitroSketch:
         if self._pending >= total_slots:
             self._pending -= total_slots
             return
-        first = self._pending
-        tail, leftover = geometric_positions(
-            probability, total_slots - first - 1, self._batch_rng
-        )
-        positions = np.concatenate(
-            [np.array([first], dtype=np.int64), first + 1 + tail]
-        )
-        self._pending = leftover
-        self.ops.prng(len(positions))
+        with profiler.stage("geometric_skip"):
+            first = self._pending
+            tail, leftover = geometric_positions(
+                probability, total_slots - first - 1, self._batch_rng
+            )
+            positions = np.concatenate(
+                [np.array([first], dtype=np.int64), first + 1 + tail]
+            )
+            self._pending = leftover
+            self.ops.prng(len(positions))
 
-        packet_idx = positions // depth
-        rows = positions % depth
-        inverse = 1.0 / probability
-        if weights is None:
-            slot_weights = np.full(positions.shape, inverse, dtype=np.float64)
-        else:
-            slot_weights = np.asarray(weights, dtype=np.float64)[packet_idx] * inverse
+            packet_idx = positions // depth
+            rows = positions % depth
+            inverse = 1.0 / probability
+            if weights is None:
+                slot_weights = np.full(positions.shape, inverse, dtype=np.float64)
+            else:
+                slot_weights = (
+                    np.asarray(weights, dtype=np.float64)[packet_idx] * inverse
+                )
+            sampled_keys = keys[packet_idx]
 
-        sampled_keys = keys[packet_idx]
         self.sketch.note_batch_mass(float(np.sum(slot_weights)))
         # One fused kernel call hashes and scatters every sampled slot
         # at once (row-indexed hashing + flat-index scatter-add), instead
-        # of the old per-row mask/`np.add.at` loop.
+        # of the old per-row mask/`np.add.at` loop.  The profiler (when
+        # this batch is sampled) splits it into row_hash and scatter.
         self.ops.hash(len(positions))
-        self.sketch.kernel.slot_update(rows, sampled_keys, slot_weights)
+        self.sketch.kernel.slot_update(
+            rows,
+            sampled_keys,
+            slot_weights,
+            profiler=profiler if profiler.active else None,
+        )
         self.ops.counter_update(len(positions))
 
         sampled_packets = int(np.unique(packet_idx).size)
@@ -350,12 +372,13 @@ class NitroSketch:
         self._telemetry.count("nitro_sampled_packets_total", sampled_packets)
         self._telemetry.count("nitro_geometric_draws_total", len(positions))
         if self.topk is not None:
-            unique_keys = np.unique(sampled_keys)
-            # Scalar ingest probes the heap once per *sampled packet*.
-            self.ops.table_lookup(max(sampled_packets - len(unique_keys), 0))
-            estimates = self.sketch.query_batch(unique_keys)
-            for key, estimate in zip(unique_keys.tolist(), estimates.tolist()):
-                self.topk.offer(int(key), float(estimate))
+            with profiler.stage("query"):
+                unique_keys = np.unique(sampled_keys)
+                # Scalar ingest probes the heap once per *sampled packet*.
+                self.ops.table_lookup(max(sampled_packets - len(unique_keys), 0))
+                estimates = self.sketch.query_batch(unique_keys)
+                for key, estimate in zip(unique_keys.tolist(), estimates.tolist()):
+                    self.topk.offer(int(key), float(estimate))
 
     def _offer_topk(self, keys: "np.ndarray", count: int) -> None:
         """Offer each distinct key of an exact-phase batch to the heap."""

@@ -33,6 +33,7 @@ from repro.core.geometric import GeometricSampler, geometric_positions
 from repro.core.modes import AlwaysCorrectController, AlwaysLineRateController
 from repro.core.nitro import PREPROCESS_CYCLES_PER_PACKET
 from repro.sketches.univmon import UnivMon, default_level_factory
+from repro.telemetry.profile import NULL_PROFILER
 
 
 class NitroUnivMon(UnivMon):
@@ -65,6 +66,9 @@ class NitroUnivMon(UnivMon):
         self._pending = self.sampler.next_gap() - 1
         self._packets_sampled = 0
         self._batch_rng = np.random.default_rng(config.seed ^ 0x7A7A7A7A)
+        # Same stage-profiler contract as NitroSketch: assign a live
+        # StageProfiler to time geometric_skip/scatter/query per batch.
+        self.profiler = NULL_PROFILER
 
         self.linerate: Optional[AlwaysLineRateController] = None
         self.correctness: Optional[AlwaysCorrectController] = None
@@ -154,6 +158,8 @@ class NitroUnivMon(UnivMon):
         count = len(keys)
         if count == 0:
             return
+        profiler = self.profiler
+        profiler.tick()
         self.ops.packet(count)
         self.ops.fixed(PREPROCESS_CYCLES_PER_PACKET * count)
         self.packets_seen += count
@@ -165,7 +171,8 @@ class NitroUnivMon(UnivMon):
                 self.sampler.set_probability(new_probability)
         if self.correctness is not None and not self.correctness.converged:
             self._packets_sampled += count
-            self._exact_batch(keys, weights)
+            with profiler.stage("exact_update"):
+                self._exact_batch(keys, weights)
             if self.correctness.on_batch(count):
                 self.sampler.set_probability(self.config.probability)
             return
@@ -173,42 +180,47 @@ class NitroUnivMon(UnivMon):
         probability = self.sampler.probability
         if probability >= 1.0:
             self._packets_sampled += count
-            self._exact_batch(keys, weights)
+            with profiler.stage("exact_update"):
+                self._exact_batch(keys, weights)
             return
 
-        slots = self._slots_per_packet
-        depth = self.depth
-        total_slots = count * slots
-        if self._pending >= total_slots:
-            self._pending -= total_slots
-            return
-        first = self._pending
-        tail, leftover = geometric_positions(
-            probability, total_slots - first - 1, self._batch_rng
-        )
-        positions = np.concatenate([np.array([first], dtype=np.int64), first + 1 + tail])
-        self._pending = leftover
-        self.ops.prng(len(positions))
+        with profiler.stage("geometric_skip"):
+            slots = self._slots_per_packet
+            depth = self.depth
+            total_slots = count * slots
+            if self._pending >= total_slots:
+                self._pending -= total_slots
+                return
+            first = self._pending
+            tail, leftover = geometric_positions(
+                probability, total_slots - first - 1, self._batch_rng
+            )
+            positions = np.concatenate(
+                [np.array([first], dtype=np.int64), first + 1 + tail]
+            )
+            self._pending = leftover
+            self.ops.prng(len(positions))
 
-        packet_idx = positions // slots
-        slot_idx = positions % slots
-        level_idx = slot_idx // depth
-        row_idx = slot_idx % depth
+            packet_idx = positions // slots
+            slot_idx = positions % slots
+            level_idx = slot_idx // depth
+            row_idx = slot_idx % depth
 
-        sampled_keys = keys[packet_idx]
-        # One membership hash per sampled position (scalar path pays one
-        # per sampled *packet*; bill per unique packet).
-        unique_packets = np.unique(packet_idx)
-        self.ops.hash(len(unique_packets))
-        membership = self.sampled_depth_batch(sampled_keys)
-        in_level = level_idx <= membership
+            sampled_keys = keys[packet_idx]
+            # One membership hash per sampled position (scalar path pays one
+            # per sampled *packet*; bill per unique packet).
+            unique_packets = np.unique(packet_idx)
+            self.ops.hash(len(unique_packets))
+            membership = self.sampled_depth_batch(sampled_keys)
+            in_level = level_idx <= membership
 
-        inverse = 1.0 / probability
-        if weights is None:
-            slot_weights = np.full(positions.shape, inverse, dtype=np.float64)
-        else:
-            slot_weights = np.asarray(weights, dtype=np.float64)[packet_idx] * inverse
+            inverse = 1.0 / probability
+            if weights is None:
+                slot_weights = np.full(positions.shape, inverse, dtype=np.float64)
+            else:
+                slot_weights = np.asarray(weights, dtype=np.float64)[packet_idx] * inverse
 
+        kernel_profiler = profiler if profiler.active else None
         updated_keys = {}
         for level in range(self.levels):
             level_mask = (level_idx == level) & in_level
@@ -221,18 +233,22 @@ class NitroUnivMon(UnivMon):
             # per-row mask/np.add.at loop, with identical op accounting
             # (one hash + one counter update per sampled slot).
             self.ops.hash(len(level_keys))
-            sketch.kernel.slot_update(level_rows, level_keys, slot_weights[level_mask])
+            sketch.kernel.slot_update(
+                level_rows, level_keys, slot_weights[level_mask],
+                profiler=kernel_profiler,
+            )
             self.ops.counter_update(len(level_keys))
             updated_keys[level] = np.unique(level_keys)
 
         self._packets_sampled += int(
             np.unique(packet_idx[in_level]).size
         )
-        for level, unique_keys in updated_keys.items():
-            unit = self.sketches[level]
-            estimates = unit.sketch.query_batch(unique_keys)
-            for key, estimate in zip(unique_keys.tolist(), estimates.tolist()):
-                unit.topk.offer(int(key), float(estimate))
+        with profiler.stage("query"):
+            for level, unique_keys in updated_keys.items():
+                unit = self.sketches[level]
+                estimates = unit.sketch.query_batch(unique_keys)
+                for key, estimate in zip(unique_keys.tolist(), estimates.tolist()):
+                    unit.topk.offer(int(key), float(estimate))
 
     def _exact_batch(self, keys, weights) -> None:
         """Vanilla UnivMon batch path, without re-counting packets/total."""

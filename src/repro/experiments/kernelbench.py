@@ -56,6 +56,12 @@ CHECKPOINT_OVERHEAD_CEILING = 1.10
 #: the batch implementation directly with no hook dispatch at all.
 VERIFY_OVERHEAD_CEILING = 1.05
 
+#: Full tracing instrumentation -- a live Telemetry sink, the span
+#: tracer, and a StageProfiler at its default sampling cadence -- may
+#: cost at most this factor versus the bare NULL_TELEMETRY/NULL_PROFILER
+#: ingest path.
+TRACING_OVERHEAD_CEILING = 1.10
+
 
 # -- seed (pre-kernel) reference implementations ---------------------------
 
@@ -311,6 +317,72 @@ def telemetry_overhead(
         "null_seconds": null_seconds,
         "live_seconds": live_seconds,
         "ratio": live_seconds / null_seconds,
+    }
+
+
+def tracing_overhead(
+    scale: float = 1.0,
+    seed: int = 0,
+    repeats: int = 3,
+    chunk: int = 4096,
+    sample_every: int = 16,
+) -> Dict[str, float]:
+    """Cost of the full tracing/profiling stack on the ingest hot path.
+
+    Feeds the same chunked CAIDA-like stream through
+    ``NitroSketch.update_batch`` twice: once bare (the production
+    defaults, NULL_TELEMETRY + NULL_PROFILER) and once with the whole
+    observability stack live -- a real :class:`~repro.telemetry.
+    Telemetry` sink (which carries the span tracer), a per-epoch span
+    opened around each pass, and a :class:`~repro.telemetry.profile.
+    StageProfiler` timing pipeline stages on every ``sample_every``-th
+    batch.  The ratio is gated at :data:`TRACING_OVERHEAD_CEILING` by
+    ``scripts/check_perf.py``; it is what bounds the "continuous
+    profiling is cheap enough to leave on" claim.
+    """
+    from repro.telemetry import Telemetry
+    from repro.telemetry.profile import StageProfiler
+
+    n = max(10_000, int(200_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    chunks = [keys[start : start + chunk] for start in range(0, len(keys), chunk)]
+
+    def build():
+        return NitroSketch(
+            CountSketch(DEPTH, WIDTH, seed=seed + 91), probability=0.01, top_k=100
+        )
+
+    bare_nitro = build()
+    traced_nitro = build()
+    telemetry = Telemetry()
+    traced_nitro.telemetry = telemetry
+    traced_nitro.profiler = StageProfiler(telemetry, sample_every=sample_every)
+
+    def bare_pass():
+        for piece in chunks:
+            bare_nitro.update_batch(piece)
+
+    def traced_pass():
+        with telemetry.start_span("epoch", trace_id="perf", span_id="perf"):
+            for piece in chunks:
+                traced_nitro.update_batch(piece)
+
+    # Warm-up, then interleaved best-of rounds so machine-load drift
+    # moves both sides alike (same rationale as verify_overhead).
+    bare_pass()
+    traced_pass()
+    bare_seconds = float("inf")
+    traced_seconds = float("inf")
+    for _ in range(max(repeats, 7)):
+        bare_seconds = min(bare_seconds, _best_time(bare_pass, 1))
+        traced_seconds = min(traced_seconds, _best_time(traced_pass, 1))
+    return {
+        "packets": float(n),
+        "sample_every": float(sample_every),
+        "bare_seconds": bare_seconds,
+        "traced_seconds": traced_seconds,
+        "ratio": traced_seconds / bare_seconds,
     }
 
 

@@ -256,18 +256,35 @@ class SketchKernel:
             None if values is None else values.ravel(),
         )
 
-    def slot_update(self, rows: "np.ndarray", keys: "np.ndarray", values: "np.ndarray") -> None:
+    def slot_update(
+        self,
+        rows: "np.ndarray",
+        keys: "np.ndarray",
+        values: "np.ndarray",
+        profiler=None,
+    ) -> None:
         """Apply per-slot updates ``C[rows[i]][h(keys[i])] += values[i]``.
 
         This is NitroSketch's sampled path: ``rows`` carries the row of
         each geometrically sampled slot and ``values`` the
-        ``p**-1``-scaled increments.
+        ``p**-1``-scaled increments.  ``profiler`` (a
+        :class:`~repro.telemetry.profile.StageProfiler` on a sampled
+        batch) splits the timing into ``row_hash`` and ``scatter``.
         """
-        buckets = self.slot_buckets(rows, keys)
-        signs = self.slot_signs(rows, keys)
-        if signs is not None:
-            values = values * signs
-        scatter_add_2d(self.sketch.counters, rows, buckets, values)
+        if profiler is None or not profiler.active:
+            buckets = self.slot_buckets(rows, keys)
+            signs = self.slot_signs(rows, keys)
+            if signs is not None:
+                values = values * signs
+            scatter_add_2d(self.sketch.counters, rows, buckets, values)
+            return
+        with profiler.stage("row_hash"):
+            buckets = self.slot_buckets(rows, keys)
+            signs = self.slot_signs(rows, keys)
+            if signs is not None:
+                values = values * signs
+        with profiler.stage("scatter"):
+            scatter_add_2d(self.sketch.counters, rows, buckets, values)
 
     def estimate_matrix(self, keys: "np.ndarray") -> "np.ndarray":
         """``(depth, n)`` per-row estimates ``C[r][h_r(key)] * g_r(key)``."""

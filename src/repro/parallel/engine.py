@@ -65,6 +65,8 @@ from repro.parallel.mailbox import (
 )
 from repro.parallel.shard import MERGE_SHARD, epoch_bounds, rss_assignments
 from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.profile import NULL_PROFILER
+from repro.telemetry.spans import Span, make_span_id, make_trace_id
 
 STRATEGIES = ("merge", "shared")
 
@@ -123,10 +125,19 @@ class WorkerSpec:
     crash_plan: Optional[WorkerCrashPlan] = None
     corruption_plan: Optional[FrameCorruptionPlan] = None
     publish_timeout: float = 120.0
+    #: Stable identity of the run; each epoch's trace id is derived from
+    #: it, so a respawned worker reproduces its predecessor's span ids.
+    trace_parts: Optional[Tuple] = None
 
 
 def _fresh_stats() -> Dict[str, float]:
-    return {"packets": 0, "batches": 0, "busy_wall": 0.0, "busy_cpu": 0.0}
+    return {
+        "packets": 0,
+        "batches": 0,
+        "busy_wall": 0.0,
+        "busy_cpu": 0.0,
+        "publish_wait": 0.0,
+    }
 
 
 def _stats_from_meta(meta: Dict[str, Any]) -> Dict[str, float]:
@@ -135,6 +146,7 @@ def _stats_from_meta(meta: Dict[str, Any]) -> Dict[str, float]:
         "batches": int(meta.get("batches_total", 0)),
         "busy_wall": float(meta.get("busy_wall_seconds", 0.0)),
         "busy_cpu": float(meta.get("busy_cpu_seconds", 0.0)),
+        "publish_wait": float(meta.get("publish_wait_seconds", 0.0)),
     }
 
 
@@ -205,6 +217,7 @@ def _frame_meta(
         "batches_total": int(stats["batches"]),
         "busy_wall_seconds": float(stats["busy_wall"]),
         "busy_cpu_seconds": float(stats["busy_cpu"]),
+        "publish_wait_seconds": float(stats.get("publish_wait", 0.0)),
         "final": epoch == n_epochs - 1,
     }
     if strategy == "shared":
@@ -263,6 +276,9 @@ def _worker_main(spec: WorkerSpec) -> None:
 
         bounds = epoch_bounds(spec.n_packets, spec.epoch_packets)
         n_epochs = len(bounds)
+        # The publish span of epoch e is only measurable after e's frame
+        # left; it rides in frame e+1 (the final epoch's is never shipped).
+        pending_publish_span: Optional[Dict[str, Any]] = None
         for epoch in range(spec.start_epoch, n_epochs):
             shard_keys = _epoch_shard_keys(
                 keys, assignments, spec.worker, bounds[epoch]
@@ -274,9 +290,12 @@ def _worker_main(spec: WorkerSpec) -> None:
                 batches = int(math.ceil(len(shard_keys) / spec.batch_size))
                 crash_at = int(batches * plan.fraction)
                 exit_code = plan.exit_code
+            ingest_wall0 = time.time()
+            ingest_perf0 = time.perf_counter()
             _ingest_epoch(
                 monitor, shard_keys, spec.batch_size, stats, crash_at, exit_code
             )
+            ingest_duration = time.perf_counter() - ingest_perf0
             meta = _frame_meta(
                 spec.worker,
                 epoch,
@@ -286,6 +305,35 @@ def _worker_main(spec: WorkerSpec) -> None:
                 monitor,
                 spec.strategy,
             )
+            trace_id = ingest_span_id = None
+            if spec.trace_parts is not None:
+                trace_id = make_trace_id(*spec.trace_parts, epoch)
+                epoch_span_id = make_span_id(trace_id, "epoch")
+                ingest_span_id = make_span_id(trace_id, "worker.ingest", spec.worker)
+                spans = [
+                    Span(
+                        trace_id=trace_id,
+                        span_id=ingest_span_id,
+                        parent_id=epoch_span_id,
+                        name="worker.ingest",
+                        start=ingest_wall0,
+                        duration=ingest_duration,
+                        fields={
+                            "worker": spec.worker,
+                            "shard": spec.worker,
+                            "epoch": epoch,
+                            "packets": int(len(shard_keys)),
+                        },
+                    ).as_dict()
+                ]
+                if pending_publish_span is not None:
+                    spans.append(pending_publish_span)
+                meta["trace"] = {
+                    "trace_id": trace_id,
+                    "epoch_span_id": epoch_span_id,
+                    "span_id": ingest_span_id,
+                    "spans": spans,
+                }
             payload = serialize_epoch_frame(
                 meta, monitor if spec.strategy == "merge" else None
             )
@@ -296,12 +344,29 @@ def _worker_main(spec: WorkerSpec) -> None:
                 and corruption.epoch == epoch
             ):
                 payload = flip_bytes(payload, corruption.count, corruption.seed)
-            mailbox.publish(
+            publish_wall0 = time.time()
+            publish_perf0 = time.perf_counter()
+            waited = mailbox.publish(
                 payload,
                 epoch,
                 final=(epoch == n_epochs - 1),
                 timeout=spec.publish_timeout,
             )
+            stats["publish_wait"] += waited
+            if trace_id is not None:
+                pending_publish_span = Span(
+                    trace_id=trace_id,
+                    span_id=make_span_id(trace_id, "mailbox.publish", spec.worker),
+                    parent_id=ingest_span_id,
+                    name="mailbox.publish",
+                    start=publish_wall0,
+                    duration=time.perf_counter() - publish_perf0,
+                    fields={
+                        "worker": spec.worker,
+                        "epoch": epoch,
+                        "wait_seconds": round(waited, 6),
+                    },
+                ).as_dict()
             if spec.strategy == "merge" and spec.reset_per_epoch:
                 monitor.reset()
     except Exception:
@@ -333,6 +398,8 @@ class WorkerStats:
     busy_wall_seconds: float
     busy_cpu_seconds: float
     restarts: int = 0
+    #: Seconds spent blocked in mailbox flow control (back-pressure).
+    publish_wait_seconds: float = 0.0
 
     @property
     def busy_mpps(self) -> float:
@@ -494,6 +561,7 @@ class ParallelIngestEngine:
         rss_seed: int = 0,
         reset_per_epoch: bool = False,
         telemetry=NULL_TELEMETRY,
+        profiler=NULL_PROFILER,
         max_restarts: Optional[int] = None,
         deadline_seconds: float = 120.0,
         start_method: Optional[str] = None,
@@ -523,6 +591,7 @@ class ParallelIngestEngine:
         self.rss_seed = rss_seed
         self.reset_per_epoch = reset_per_epoch
         self.telemetry = telemetry
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.max_restarts = workers if max_restarts is None else max_restarts
         self.deadline_seconds = deadline_seconds
         self.start_method = start_method
@@ -547,6 +616,22 @@ class ParallelIngestEngine:
             # factories (repro.parallel.factories).
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
+
+    def _trace_parts(self, n_packets: int) -> Tuple:
+        """The run identity every epoch trace id is derived from.
+
+        Pure function of the configuration, so :meth:`run`,
+        :meth:`run_sequential` and any crash-recovery respawn of the
+        same run all produce identical trace/span ids.
+        """
+        return (
+            "nitrosketch",
+            self.strategy,
+            self.workers,
+            self.rss_seed,
+            n_packets,
+            self.epoch_packets,
+        )
 
     def _probe_geometry(self) -> Tuple[int, int, int]:
         """(depth, width, mailbox capacity) from a probe monitor."""
@@ -638,6 +723,7 @@ class ParallelIngestEngine:
                 crash_plan=self.crash_plan,
                 corruption_plan=self.corruption_plan,
                 publish_timeout=self.deadline_seconds,
+                trace_parts=self._trace_parts(n_packets),
             )
             for worker in range(self.workers)
         ]
@@ -654,24 +740,50 @@ class ParallelIngestEngine:
 
         final_metas: List[Optional[Dict[str, Any]]] = [None] * self.workers
         merged = None
+        trace_parts = self._trace_parts(n_packets)
+        span_sink = getattr(self.telemetry, "spans", None)
         try:
             for epoch in range(n_epochs):
+                trace_id = make_trace_id(*trace_parts, epoch)
+                epoch_span = self.telemetry.start_span(
+                    "epoch",
+                    trace_id=trace_id,
+                    span_id=make_span_id(trace_id, "epoch"),
+                    epoch=epoch,
+                    workers=self.workers,
+                )
                 epoch_metas: List[Dict[str, Any]] = []
                 epoch_monitors: List[Any] = []
-                for worker in range(self.workers):
-                    meta, monitor = self._await_frame(worker, epoch)
-                    epoch_metas.append(meta)
-                    epoch_monitors.append(monitor)
-                    if meta.get("final"):
-                        final_metas[worker] = meta
-                if self.strategy == "merge":
-                    merged = _merge_monitors(self.monitor_factory, epoch_monitors)
-                else:
-                    merged = _combine_shared(
-                        self.monitor_factory, banks, epoch_metas
+                with epoch_span:
+                    for worker in range(self.workers):
+                        meta, monitor = self._await_frame(worker, epoch, epoch_span)
+                        epoch_metas.append(meta)
+                        epoch_monitors.append(monitor)
+                        if meta.get("final"):
+                            final_metas[worker] = meta
+                        trace_block = meta.get("trace")
+                        if span_sink is not None and isinstance(trace_block, dict):
+                            span_sink.record_dicts(trace_block.get("spans", ()))
+                    merge_span = epoch_span.child(
+                        "merge",
+                        span_id=make_span_id(trace_id, "merge"),
+                        epoch=epoch,
                     )
-                if on_epoch is not None:
-                    on_epoch(epoch, merged, list(epoch_metas))
+                    with merge_span:
+                        merge_perf0 = time.perf_counter()
+                        if self.strategy == "merge":
+                            merged = _merge_monitors(
+                                self.monitor_factory, epoch_monitors
+                            )
+                        else:
+                            merged = _combine_shared(
+                                self.monitor_factory, banks, epoch_metas
+                            )
+                        self.profiler.observe(
+                            "merge", time.perf_counter() - merge_perf0
+                        )
+                    if on_epoch is not None:
+                        on_epoch(epoch, merged, list(epoch_metas))
             for proc in self._procs:
                 proc.join(timeout=10.0)
             wall_seconds = time.perf_counter() - wall_start
@@ -719,14 +831,17 @@ class ParallelIngestEngine:
             self._procs.append(None)
         self._procs[spec.worker] = proc
 
-    def _await_frame(self, worker: int, epoch: int) -> Tuple[Dict[str, Any], Any]:
+    def _await_frame(
+        self, worker: int, epoch: int, epoch_span=None
+    ) -> Tuple[Dict[str, Any], Any]:
         """Block until ``worker`` delivers ``epoch``'s validated frame.
 
         Handles the two failure modes: a dead worker is respawned from
         its last good frame (``merge``) or from scratch (``shared``)
         within the restart budget, and a frame failing CRC raises
         :class:`ShardCorruptionError` -- it is never acked, never
-        merged.
+        merged.  ``epoch_span`` (an :class:`~repro.telemetry.spans.ActiveSpan`)
+        receives a ``frame.crc`` child covering decode/CRC-check/ack.
         """
         mailbox = self._mailboxes[worker]
         deadline = time.perf_counter() + self.deadline_seconds
@@ -739,11 +854,44 @@ class ParallelIngestEngine:
                         "protocol error: worker %d published epoch %d while "
                         "the parent awaited %d" % (worker, frame_epoch, epoch)
                     )
+                crc_span = (
+                    epoch_span.child(
+                        "frame.crc",
+                        span_id=make_span_id(
+                            epoch_span.trace_id, "frame.crc", worker
+                        ),
+                        worker=worker,
+                        epoch=epoch,
+                    )
+                    if epoch_span is not None
+                    else None
+                )
+                ack_perf0 = time.perf_counter()
                 try:
-                    meta, monitor = deserialize_epoch_frame(payload)
+                    if crc_span is not None:
+                        with crc_span:
+                            crc_span.annotate(bytes=len(payload))
+                            meta, monitor = deserialize_epoch_frame(payload)
+                            mailbox.ack(frame_epoch)
+                    else:
+                        meta, monitor = deserialize_epoch_frame(payload)
+                        mailbox.ack(frame_epoch)
                 except ValueError as exc:
+                    self.telemetry.count(
+                        "parallel_corrupt_frames_total", worker=str(worker)
+                    )
+                    self.telemetry.event(
+                        "parallel.corrupt_frame",
+                        worker=worker,
+                        epoch=epoch,
+                        reason=str(exc),
+                    )
                     raise ShardCorruptionError(worker, epoch, str(exc)) from exc
-                mailbox.ack(frame_epoch)
+                ack_seconds = time.perf_counter() - ack_perf0
+                self.telemetry.observe(
+                    "parallel_mailbox_ack_seconds", ack_seconds, worker=str(worker)
+                )
+                self.profiler.observe("mailbox_ack", ack_seconds)
                 if self.strategy == "merge" and not self.reset_per_epoch:
                     # A cumulative frame is a checkpoint: keep the bytes
                     # so a later crash resumes bit-exactly from here.
@@ -805,6 +953,7 @@ class ParallelIngestEngine:
             busy_wall_seconds=stats["busy_wall"],
             busy_cpu_seconds=stats["busy_cpu"],
             restarts=self._restart_counts[worker],
+            publish_wait_seconds=stats["publish_wait"],
         )
 
     # -- the sequential oracle --------------------------------------------------
@@ -837,39 +986,69 @@ class ParallelIngestEngine:
         wall_start = time.perf_counter()
         merged = None
         final_metas: List[Optional[Dict[str, Any]]] = [None] * self.workers
+        trace_parts = self._trace_parts(n_packets)
         for epoch in range(n_epochs):
+            trace_id = make_trace_id(*trace_parts, epoch)
+            epoch_span = self.telemetry.start_span(
+                "epoch",
+                trace_id=trace_id,
+                span_id=make_span_id(trace_id, "epoch"),
+                epoch=epoch,
+                workers=self.workers,
+            )
             epoch_metas: List[Dict[str, Any]] = []
-            for worker in range(self.workers):
-                shard_keys = _epoch_shard_keys(
-                    keys, assignments, worker, bounds[epoch]
+            with epoch_span:
+                for worker in range(self.workers):
+                    shard_keys = _epoch_shard_keys(
+                        keys, assignments, worker, bounds[epoch]
+                    )
+                    ingest_span = epoch_span.child(
+                        "worker.ingest",
+                        span_id=make_span_id(trace_id, "worker.ingest", worker),
+                        worker=worker,
+                        shard=worker,
+                        epoch=epoch,
+                        packets=int(len(shard_keys)),
+                    )
+                    with ingest_span:
+                        _ingest_epoch(
+                            monitors[worker],
+                            shard_keys,
+                            self.batch_size,
+                            stats_list[worker],
+                        )
+                    meta = _frame_meta(
+                        worker,
+                        epoch,
+                        n_epochs,
+                        len(shard_keys),
+                        stats_list[worker],
+                        monitors[worker],
+                        self.strategy,
+                    )
+                    epoch_metas.append(meta)
+                    if meta.get("final"):
+                        final_metas[worker] = meta
+                merge_span = epoch_span.child(
+                    "merge", span_id=make_span_id(trace_id, "merge"), epoch=epoch
                 )
-                _ingest_epoch(
-                    monitors[worker], shard_keys, self.batch_size, stats_list[worker]
-                )
-                meta = _frame_meta(
-                    worker,
-                    epoch,
-                    n_epochs,
-                    len(shard_keys),
-                    stats_list[worker],
-                    monitors[worker],
-                    self.strategy,
-                )
-                epoch_metas.append(meta)
-                if meta.get("final"):
-                    final_metas[worker] = meta
-            if self.strategy == "merge":
-                merged = _merge_monitors(self.monitor_factory, monitors)
-                if self.reset_per_epoch:
-                    for monitor in monitors:
-                        monitor.reset()
-            else:
-                banks = np.stack(
-                    [_owned_sketch(monitor).counters for monitor in monitors]
-                )
-                merged = _combine_shared(self.monitor_factory, banks, epoch_metas)
-            if on_epoch is not None:
-                on_epoch(epoch, merged, list(epoch_metas))
+                with merge_span:
+                    merge_perf0 = time.perf_counter()
+                    if self.strategy == "merge":
+                        merged = _merge_monitors(self.monitor_factory, monitors)
+                        if self.reset_per_epoch:
+                            for monitor in monitors:
+                                monitor.reset()
+                    else:
+                        banks = np.stack(
+                            [_owned_sketch(monitor).counters for monitor in monitors]
+                        )
+                        merged = _combine_shared(
+                            self.monitor_factory, banks, epoch_metas
+                        )
+                    self.profiler.observe("merge", time.perf_counter() - merge_perf0)
+                if on_epoch is not None:
+                    on_epoch(epoch, merged, list(epoch_metas))
         wall_seconds = time.perf_counter() - wall_start
 
         worker_stats = [

@@ -159,14 +159,20 @@ class EpochMailbox:
         epoch: int,
         final: bool = False,
         timeout: float = 120.0,
-    ) -> None:
-        """Publish one epoch frame; blocks until the previous was acked."""
+    ) -> float:
+        """Publish one epoch frame; blocks until the previous was acked.
+
+        Returns the flow-control wait in seconds (time spent blocked on
+        the parent's ack of the previous frame) -- the back-pressure
+        signal the profiler's ``mailbox_publish`` stage reports.
+        """
         if len(payload) > self.capacity:
             raise ValueError(
                 "payload of %d bytes exceeds mailbox capacity %d"
                 % (len(payload), self.capacity)
             )
-        deadline = time.perf_counter() + timeout
+        wait_start = time.perf_counter()
+        deadline = wait_start + timeout
         while int(self._header[_ACK]) < epoch - 1:
             if time.perf_counter() > deadline:
                 raise MailboxTimeout(
@@ -174,6 +180,7 @@ class EpochMailbox:
                     % (epoch - 1, int(self._header[_ACK]))
                 )
             time.sleep(_POLL_SECONDS)
+        waited = time.perf_counter() - wait_start
         seq = int(self._header[_SEQ])
         # Next odd value: +1 from even (normal), +2 from odd (a previous
         # writer died mid-publish; never step through even mid-write).
@@ -183,6 +190,7 @@ class EpochMailbox:
         self._header[_EPOCH] = epoch
         self._header[_FINAL] = 1 if final else 0
         self._header[_SEQ] += 1  # even: stable
+        return waited
 
     # -- reader side -----------------------------------------------------------
 

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import enum
 import inspect
+import time
 from typing import List, Optional
 
 from repro.metrics.opcount import OpCounter
 from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.profile import NULL_PROFILER
 from repro.traffic.replay import Batch
 
 
@@ -105,6 +107,10 @@ class MeasurementDaemon:
         self.telemetry = telemetry
         if hasattr(monitor, "telemetry"):
             monitor.telemetry = telemetry
+        # Per-stage latency profiler; the setter hands it to the monitor
+        # so hot-path stages and checkpoint timing land in one
+        # ``stage_seconds`` family.
+        self.profiler = NULL_PROFILER
         self.auditor = auditor
         if queue_capacity < 0:
             raise ValueError("queue_capacity must be >= 0, got %d" % queue_capacity)
@@ -131,6 +137,17 @@ class MeasurementDaemon:
         self._batch_takes_duration = self.use_batch and _accepts_kwarg(
             monitor.update_batch, "duration_seconds"
         )
+
+    @property
+    def profiler(self):
+        """The attached :class:`~repro.telemetry.profile.StageProfiler`."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler) -> None:
+        self._profiler = profiler if profiler is not None else NULL_PROFILER
+        if hasattr(self.monitor, "profiler"):
+            self.monitor.profiler = self._profiler
 
     def ingest(self, batch: Batch) -> None:
         """Feed one batch to the monitor."""
@@ -162,6 +179,7 @@ class MeasurementDaemon:
         """Checkpoint the monitor now; returns the written Checkpoint."""
         if self.checkpoints is None:
             raise RuntimeError("daemon has no CheckpointManager")
+        checkpoint_start = time.perf_counter()
         written = self.checkpoints.save(
             self.monitor,
             meta={
@@ -169,6 +187,11 @@ class MeasurementDaemon:
                 "packets_offered": self.packets_offered,
                 "batches_ingested": self.batches_ingested,
             },
+        )
+        # Checkpoints are epoch-grade events, not per-batch: record the
+        # stage unconditionally, bypassing the batch sampling gate.
+        self._profiler.observe(
+            "checkpoint", time.perf_counter() - checkpoint_start
         )
         self._batches_since_checkpoint = 0
         self.telemetry.gauge(

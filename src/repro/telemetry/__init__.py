@@ -20,7 +20,16 @@ post-hoc :class:`~repro.metrics.opcount.OpCounter` totals:
 * :mod:`repro.telemetry.health` -- a rule engine over metric snapshots
   (:class:`HealthEvaluator`) feeding the server's ``/health`` route;
 * :mod:`repro.telemetry.dashboard` -- the ``nitrosketch top`` live
-  terminal dashboard.
+  terminal dashboard;
+* :mod:`repro.telemetry.spans` -- cross-process distributed-tracing
+  spans with deterministic ids (:class:`SpanTracer`), reassembled into
+  per-epoch trees spanning the multi-process data plane;
+* :mod:`repro.telemetry.profile` -- the sampled per-stage latency
+  profiler (:class:`~repro.telemetry.profile.StageProfiler`) with
+  histogram quantiles and flamegraph-compatible collapsed stacks;
+* :mod:`repro.telemetry.history` -- a bounded, downsampling time-series
+  ring of registry snapshots (:class:`HistoryStore`) behind the
+  ``/history`` route.
 
 The :class:`Telemetry` facade bundles one registry and one tracer and is
 what instrumented components hold.  Mirroring the ``NullOps`` pattern of
@@ -46,6 +55,17 @@ from repro.telemetry.registry import (
     log_buckets,
 )
 from repro.telemetry.tracer import TraceEvent, Tracer, parse_jsonl, read_jsonl
+from repro.telemetry.spans import (
+    NULL_ACTIVE_SPAN,
+    Span,
+    SpanTracer,
+    build_trace_tree,
+    make_span_id,
+    make_trace_id,
+    parse_spans_jsonl,
+    render_span_tree,
+)
+from repro.telemetry.history import HistoryStore
 from repro.telemetry.exposition import (
     TelemetryServer,
     render_json,
@@ -102,6 +122,22 @@ METRIC_HELP: Dict[str, str] = {
     "checkpoint_size_bytes": "Size of the newest checkpoint frame.",
     "daemon_checkpoint_age_batches": "Batches ingested since the daemon's last checkpoint.",
     "control_checkpoint_age_epochs": "Epochs since the control plane's last checkpoint.",
+    "tracer_dropped_events_total": "Trace events evicted from the ring buffer.",
+    "stage_seconds": "Wall-clock time per profiled ingest-pipeline stage.",
+    "parallel_workers": "Worker processes in the last parallel run.",
+    "parallel_host_cpus": "Host CPU count seen by the parallel engine.",
+    "parallel_worker_packets_total": "Packets ingested, by worker.",
+    "parallel_worker_batches_total": "Batches ingested, by worker.",
+    "parallel_worker_busy_seconds": "Per-run busy wall seconds, by worker.",
+    "parallel_worker_cpu_mpps": "Per-core CPU-clock throughput, by worker.",
+    "parallel_worker_restarts": "Crash-recovery respawns in the last run, by worker.",
+    "parallel_worker_restarts_total": "Crash-recovery respawns, by worker.",
+    "parallel_corrupt_frames_total": "Epoch frames rejected on CRC/format, by worker.",
+    "parallel_mailbox_ack_seconds": "Parent-side frame decode+CRC+ack time, by worker.",
+    "parallel_mailbox_publish_wait_seconds": "Worker-side publish flow-control stall, by worker.",
+    "parallel_wall_mpps": "End-to-end wall-clock rate of the last parallel run.",
+    "parallel_aggregate_cpu_mpps": "Sum of per-worker CPU-clock rates.",
+    "parallel_aggregate_busy_mpps": "Sum of per-worker busy-wall rates.",
 }
 
 
@@ -141,9 +177,13 @@ class Telemetry:
         self,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        spans: Optional[SpanTracer] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        #: The span recorder behind :meth:`start_span` and ``/spans``.
+        self.spans = spans if spans is not None else SpanTracer()
+        self._tracer_dropped_seen = self.tracer.dropped
 
     # -- metrics ------------------------------------------------------------
 
@@ -181,8 +221,34 @@ class Telemetry:
     # -- events -------------------------------------------------------------
 
     def event(self, name: str, **fields) -> None:
-        """Record one structured event into the tracer ring."""
+        """Record one structured event into the tracer ring.
+
+        Ring evictions are surfaced as the ``tracer_dropped_events_total``
+        counter -- silent drops would otherwise be invisible until
+        someone noticed a hole in an exported trace.
+        """
         self.tracer.record(name, **fields)
+        dropped = self.tracer.dropped
+        if dropped != self._tracer_dropped_seen:
+            delta = dropped - self._tracer_dropped_seen
+            self._tracer_dropped_seen = dropped
+            if delta > 0:
+                self.count("tracer_dropped_events_total", delta)
+
+    # -- spans --------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        **fields,
+    ):
+        """Open a distributed-tracing span (see :mod:`repro.telemetry.spans`)."""
+        return self.spans.start_span(
+            name, trace_id=trace_id, parent_id=parent_id, span_id=span_id, **fields
+        )
 
     # -- bridges ------------------------------------------------------------
 
@@ -251,6 +317,9 @@ class NullTelemetry:
     def event(self, name: str, **fields) -> None:
         pass
 
+    def start_span(self, name: str, trace_id=None, parent_id=None, span_id=None, **fields):
+        return NULL_ACTIVE_SPAN
+
     def record_ops(self, ops, **labels) -> None:
         pass
 
@@ -262,20 +331,29 @@ NULL_TELEMETRY = NullTelemetry()
 __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "HistoryStore",
     "METRIC_HELP",
     "MetricFamily",
     "MetricsRegistry",
+    "NULL_ACTIVE_SPAN",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "Span",
+    "SpanTracer",
     "Telemetry",
     "TelemetryServer",
     "TraceEvent",
     "Tracer",
+    "build_trace_tree",
     "log_buckets",
+    "make_span_id",
+    "make_trace_id",
     "parse_jsonl",
+    "parse_spans_jsonl",
     "read_jsonl",
     "render_json",
     "render_prometheus",
+    "render_span_tree",
     "snapshot",
     "start_http_server",
 ]

@@ -162,6 +162,55 @@ def render_dashboard(
                 "  %-28s %10s  x%d" % ("%s/%s" % (platform, stage), _format_seconds(mean), count)
             )
 
+    # -- per-worker panel (parallel data plane) --------------------------
+    worker_rows: Dict[str, Dict[str, float]] = {}
+
+    def _per_worker(metric: str, key: str, from_histogram: bool = False) -> None:
+        for labels, sample in _samples(snap, metric):
+            worker = labels.get("worker")
+            if worker is None:
+                continue
+            row = worker_rows.setdefault(worker, {})
+            if from_histogram:
+                row[key] = _to_float(sample.get("sum", 0.0))
+            elif "value" in sample:
+                row[key] = _to_float(sample["value"])
+
+    _per_worker("parallel_worker_packets_total", "packets")
+    _per_worker("parallel_worker_cpu_mpps", "cpu_mpps")
+    _per_worker("parallel_worker_restarts", "restarts")
+    _per_worker("parallel_worker_restarts_total", "restarts")
+    _per_worker("parallel_corrupt_frames_total", "corrupt")
+    _per_worker("parallel_mailbox_ack_seconds", "ack", from_histogram=True)
+    _per_worker(
+        "parallel_mailbox_publish_wait_seconds", "wait", from_histogram=True
+    )
+    if worker_rows:
+        host_cpus = _value(snap, "parallel_host_cpus")
+        lines.append(
+            "workers     (%d shard%s%s)"
+            % (
+                len(worker_rows),
+                "" if len(worker_rows) == 1 else "s",
+                "" if host_cpus is None else ", %d host cpus" % host_cpus,
+            )
+        )
+        for worker in sorted(worker_rows, key=lambda w: int(w) if w.isdigit() else 0):
+            row = worker_rows[worker]
+            lines.append(
+                "  w%-3s pkts %-8s cpu %5.2f Mpps  restarts %d  corrupt %d"
+                "  ack %s  wait %s"
+                % (
+                    worker,
+                    _format_count(row.get("packets", 0.0)),
+                    row.get("cpu_mpps", 0.0),
+                    int(row.get("restarts", 0)),
+                    int(row.get("corrupt", 0)),
+                    _format_seconds(row.get("ack", 0.0)),
+                    _format_seconds(row.get("wait", 0.0)),
+                )
+            )
+
     # -- health rule verdicts --------------------------------------------
     verdicts = []
     overall = None

@@ -10,7 +10,10 @@ Three ways out of the registry/tracer:
   tracer's ring state; :func:`render_json` serialises it.
 * :class:`TelemetryServer` / :func:`start_http_server` -- a stdlib
   ``http.server`` endpoint run in a daemon thread, serving ``/metrics``
-  (Prometheus), ``/snapshot`` (JSON), ``/trace`` (JSONL) and -- when a
+  (Prometheus), ``/snapshot`` (JSON), ``/trace`` (event JSONL),
+  ``/spans`` (span JSONL), ``/history`` (the attached
+  :class:`~repro.telemetry.history.HistoryStore` as JSON, filterable
+  with ``?metric=name``) and -- when a
   :class:`~repro.telemetry.health.HealthEvaluator` is attached --
   ``/health`` (rule-by-rule status JSON, 503 on failure).  No
   third-party dependency: the point is that any Prometheus scraper or
@@ -52,6 +55,11 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the text-format spec: ``\\`` and newline."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _format_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
     merged = dict(labels)
     if extra:
@@ -69,7 +77,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     """Render every family in the registry as Prometheus exposition text."""
     lines = []
     for family in registry:
-        lines.append("# HELP %s %s" % (family.name, family.help or family.name))
+        lines.append("# HELP %s %s" % (family.name, _escape_help(family.help or family.name)))
         lines.append("# TYPE %s %s" % (family.name, family.kind))
         for values, child in family.children():
             labels = family.label_dict(values)
@@ -163,18 +171,26 @@ class TelemetryServer:
     ``health`` to additionally serve ``/health``: rule-by-rule status
     JSON, HTTP 200 while the verdict is ``ok``/``warn`` and 503 on
     ``fail`` so probes and load balancers get the conventional signal.
+    Pass a :class:`~repro.telemetry.history.HistoryStore` as ``history``
+    to serve ``/history`` (optionally filtered with ``?metric=name``).
     """
 
     def __init__(
-        self, telemetry, host: str = "127.0.0.1", port: int = 9109, health=None
+        self,
+        telemetry,
+        host: str = "127.0.0.1",
+        port: int = 9109,
+        health=None,
+        history=None,
     ) -> None:
         self.telemetry = telemetry
         self.health = health
+        self.history = history
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
-                path = self.path.split("?", 1)[0]
+                path, _, query = self.path.partition("?")
                 if path in ("/", "/metrics"):
                     body = render_prometheus(outer.telemetry.registry)
                     self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
@@ -184,6 +200,19 @@ class TelemetryServer:
                 elif path == "/trace":
                     body = outer.telemetry.tracer.to_jsonl()
                     self._reply(200, "application/x-ndjson", body)
+                elif path == "/spans":
+                    body = outer.telemetry.spans.to_jsonl()
+                    self._reply(200, "application/x-ndjson", body)
+                elif path == "/history" and outer.history is not None:
+                    metric = None
+                    for pair in query.split("&"):
+                        key, _, value = pair.partition("=")
+                        if key == "metric" and value:
+                            metric = value
+                    body = json.dumps(
+                        outer.history.as_dict(metric=metric), indent=2, sort_keys=True
+                    ) + "\n"
+                    self._reply(200, "application/json", body)
                 elif path == "/health" and outer.health is not None:
                     report = outer.health.evaluate()
                     status = 503 if report.status == "fail" else 200
@@ -291,7 +320,9 @@ class TelemetryServer:
 
 
 def start_http_server(
-    telemetry, host: str = "127.0.0.1", port: int = 9109, health=None
+    telemetry, host: str = "127.0.0.1", port: int = 9109, health=None, history=None
 ) -> TelemetryServer:
     """Start a daemon-thread HTTP endpoint for ``telemetry``."""
-    return TelemetryServer(telemetry, host=host, port=port, health=health).start()
+    return TelemetryServer(
+        telemetry, host=host, port=port, health=health, history=history
+    ).start()

@@ -28,6 +28,12 @@ def record_parallel_run(telemetry, result) -> None:
             "parallel_worker_busy_seconds", stats.busy_wall_seconds, worker=label
         )
         telemetry.gauge("parallel_worker_cpu_mpps", stats.cpu_mpps, worker=label)
+        telemetry.gauge("parallel_worker_restarts", stats.restarts, worker=label)
+        telemetry.observe(
+            "parallel_mailbox_publish_wait_seconds",
+            stats.publish_wait_seconds,
+            worker=label,
+        )
     telemetry.gauge("parallel_wall_mpps", result.wall_mpps)
     telemetry.gauge("parallel_aggregate_cpu_mpps", result.aggregate_cpu_mpps)
     telemetry.gauge("parallel_aggregate_busy_mpps", result.aggregate_busy_mpps)

@@ -1,0 +1,185 @@
+"""A queryable time-series history of registry snapshots.
+
+Prometheus-style exposition is instantaneous: ``/metrics`` answers "what
+is the value *now*".  A long-running monitor also needs "what was it
+over the last hour" without an external scraper -- the NetWatch exemplar
+persists exactly this kind of scrape history.  :class:`HistoryStore`
+keeps a **bounded** in-memory ring of periodic snapshot samples with
+automatic downsampling:
+
+* every :meth:`record` call captures the scalar surface of a snapshot
+  (counter/gauge values, histogram ``count``/``sum``) -- histograms'
+  bucket vectors are deliberately dropped to keep samples small;
+* samples are admitted every ``stride``-th record; when the ring hits
+  ``capacity``, every second (oldest-first) sample is discarded and the
+  stride doubles.  Memory stays bounded forever while the retained
+  window keeps covering the whole run at geometrically coarser
+  resolution -- the classic round-robin-database compromise;
+* :meth:`series` answers point-in-time queries for one labeled sample,
+  and :meth:`as_dict` feeds the ``/history`` HTTP route.
+
+The store never touches the hot path: recording cost is proportional to
+the number of metric children, and cadence is the caller's (the
+``nitrosketch profile --serve`` loop records around once a second; tests
+record explicitly).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["HistoryStore", "sample_key"]
+
+
+def sample_key(metric: str, labels: Dict[str, str]) -> str:
+    """Canonical flat key for one labeled sample: ``name{k=v,...}``."""
+    if not labels:
+        return metric
+    body = ",".join("%s=%s" % (k, labels[k]) for k in sorted(labels))
+    return "%s{%s}" % (metric, body)
+
+
+class HistoryStore:
+    """Bounded, downsampling ring of registry snapshot samples."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        clock=time.time,
+    ) -> None:
+        if capacity < 4:
+            raise ValueError("capacity must be >= 4, got %d" % capacity)
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (timestamp, {flat_key: float}) samples, oldest first.
+        self._samples: List[Tuple[float, Dict[str, float]]] = []
+        #: Admit every ``stride``-th record; doubles on each compaction.
+        self.stride = 1
+        self._record_calls = 0
+        self._compactions = 0
+
+    # -- writing ------------------------------------------------------------
+
+    @staticmethod
+    def _flatten(snapshot: Dict) -> Dict[str, float]:
+        """Scalar surface of a ``snapshot()`` dict (see module docstring)."""
+        values: Dict[str, float] = {}
+        for metric, family in snapshot.get("metrics", {}).items():
+            kind = family.get("type")
+            for sample in family.get("samples", ()):
+                labels = sample.get("labels", {})
+                if kind == "histogram":
+                    values[sample_key(metric + "_count", labels)] = float(
+                        sample.get("count", 0)
+                    )
+                    total = sample.get("sum", 0.0)
+                    if isinstance(total, (int, float)):
+                        values[sample_key(metric + "_sum", labels)] = float(total)
+                else:
+                    value = sample.get("value")
+                    if isinstance(value, (int, float)):
+                        values[sample_key(metric, labels)] = float(value)
+        return values
+
+    def record(self, snapshot: Dict, timestamp: Optional[float] = None) -> bool:
+        """Offer one snapshot; returns True when a sample was admitted.
+
+        ``snapshot`` is the dict produced by
+        :func:`repro.telemetry.exposition.snapshot` (or
+        ``Telemetry.snapshot()``).
+        """
+        with self._lock:
+            admit = self._record_calls % self.stride == 0
+            self._record_calls += 1
+            if not admit:
+                return False
+            stamp = self._clock() if timestamp is None else float(timestamp)
+            self._samples.append((stamp, self._flatten(snapshot)))
+            if len(self._samples) >= self.capacity:
+                # Keep every second sample; the newest always survives.
+                kept = self._samples[::2]
+                if kept[-1] is not self._samples[-1]:
+                    kept.append(self._samples[-1])
+                self._samples = kept
+                self.stride *= 2
+                self._compactions += 1
+            return True
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def compactions(self) -> int:
+        return self._compactions
+
+    @property
+    def record_calls(self) -> int:
+        return self._record_calls
+
+    def keys(self) -> List[str]:
+        """Every flat sample key present anywhere in the history."""
+        seen: Dict[str, None] = {}
+        with self._lock:
+            for _, values in self._samples:
+                for key in values:
+                    seen.setdefault(key, None)
+        return sorted(seen)
+
+    def series(self, metric: str, **labels) -> List[Tuple[float, float]]:
+        """``[(timestamp, value), ...]`` for one labeled sample, oldest first.
+
+        ``metric`` may be the bare family name (label-less samples) or
+        be paired with keyword labels; histogram families are addressed
+        as ``<name>_count`` / ``<name>_sum``.
+        """
+        key = sample_key(metric, {k: str(v) for k, v in labels.items()})
+        out: List[Tuple[float, float]] = []
+        with self._lock:
+            for stamp, values in self._samples:
+                if key in values:
+                    out.append((stamp, values[key]))
+        return out
+
+    def as_dict(self, metric: Optional[str] = None) -> Dict:
+        """JSON-able dump for the ``/history`` route.
+
+        With ``metric``, only flat keys whose family name matches are
+        included (exact name or ``name{...}`` / ``name_count`` forms).
+        """
+        with self._lock:
+            samples = [
+                {
+                    "time": stamp,
+                    "values": {
+                        key: value
+                        for key, value in values.items()
+                        if metric is None or _matches(key, metric)
+                    },
+                }
+                for stamp, values in self._samples
+            ]
+        return {
+            "capacity": self.capacity,
+            "stride": self.stride,
+            "compactions": self._compactions,
+            "record_calls": self._record_calls,
+            "samples": samples,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples = []
+            self.stride = 1
+            self._record_calls = 0
+            self._compactions = 0
+
+
+def _matches(flat_key: str, metric: str) -> bool:
+    name = flat_key.split("{", 1)[0]
+    return name == metric or name in (metric + "_count", metric + "_sum") or \
+        name.startswith(metric)

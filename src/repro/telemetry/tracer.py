@@ -34,15 +34,27 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 @dataclass
 class TraceEvent:
-    """One structured event."""
+    """One structured event.
+
+    ``time`` is the ordering timestamp (monotonic by default, immune to
+    wall-clock steps); ``wall`` is the wall-clock instant, so exported
+    JSONL lines can be correlated with logs and other hosts.
+    """
 
     seq: int
     time: float
     name: str
     fields: Dict[str, object] = field(default_factory=dict)
+    wall: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        return {"seq": self.seq, "time": self.time, "name": self.name, "fields": self.fields}
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "wall": self.wall,
+            "name": self.name,
+            "fields": self.fields,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
@@ -51,6 +63,9 @@ class TraceEvent:
             time=float(data["time"]),
             name=str(data["name"]),
             fields=dict(data.get("fields", {})),
+            # Traces written before the wall field existed fall back to
+            # the primary timestamp, keeping old JSONL files loadable.
+            wall=float(data.get("wall", data["time"])),
         )
 
 
@@ -63,21 +78,41 @@ class Tracer:
         Ring size; once full, the oldest events are evicted (the
         ``dropped`` property tells how many were lost).
     clock:
-        Timestamp source, injectable for deterministic golden-file
-        tests.  Defaults to wall-clock ``time.time``.
+        Primary timestamp source, injectable for deterministic
+        golden-file tests.  Defaults to monotonic ``time.monotonic``.
+    wall_clock:
+        Wall-clock source for the ``wall`` field.  Defaults to
+        ``time.time``; when a custom ``clock`` is injected without a
+        ``wall_clock``, events mirror the primary timestamp so golden
+        traces stay deterministic.
     """
 
-    def __init__(self, capacity: int = 4096, clock: Callable[[], float] = time.time) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Optional[Callable[[], float]] = None,
+        wall_clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1, got %d" % capacity)
         self.capacity = capacity
-        self._clock = clock
+        self._clock = time.monotonic if clock is None else clock
+        if wall_clock is not None:
+            self._wall_clock: Optional[Callable[[], float]] = wall_clock
+        elif clock is None:
+            self._wall_clock = time.time
+        else:
+            self._wall_clock = None  # mirror the injected clock
         self._ring: "deque[TraceEvent]" = deque(maxlen=capacity)
         self._recorded = 0
 
     def record(self, name: str, **fields) -> TraceEvent:
         """Append one event to the ring and return it."""
-        event = TraceEvent(seq=self._recorded, time=self._clock(), name=name, fields=fields)
+        now = self._clock()
+        wall = self._wall_clock() if self._wall_clock is not None else now
+        event = TraceEvent(
+            seq=self._recorded, time=now, name=name, fields=fields, wall=wall
+        )
         self._recorded += 1
         self._ring.append(event)
         return event
