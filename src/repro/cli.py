@@ -58,6 +58,9 @@ Examples::
     nitrosketch trace --workers 2 --packets 100000
     nitrosketch profile --packets 200000 --sample-every 4
     nitrosketch top --url http://127.0.0.1:9109/snapshot
+    nitrosketch alerts --demo
+    nitrosketch alerts --demo --serve --port 9109
+    nitrosketch alerts --eval --packets 20000
 """
 
 from __future__ import annotations
@@ -330,6 +333,148 @@ def cmd_audit(args) -> int:
             % ("violation" if args.corrupt else "clean", http_status, payload["status"]),
             file=sys.stderr,
         )
+    return 1 if problems else 0
+
+
+def cmd_alerts(args) -> int:
+    import json
+    import re
+    import urllib.error
+    import urllib.request
+
+    from repro.telemetry import Telemetry, TelemetryServer, WebhookReceiver
+    from repro.telemetry.demo import run_alert_demo, validate_alert_demo
+    from repro.telemetry.health import HealthEvaluator
+
+    if not (args.demo or args.eval or args.serve):
+        print(
+            "alerts: nothing to do (pass --demo, --eval, and/or --serve)",
+            file=sys.stderr,
+        )
+        return 2
+
+    telemetry = Telemetry()
+    evaluator = HealthEvaluator(telemetry)
+    server = TelemetryServer(
+        telemetry, host=args.host, port=args.port, health=evaluator
+    ).start()
+    problems = []
+    probe = {}
+
+    def on_ready(objects):
+        # Attach the live alert plane to the already-running server so
+        # /alerts, /rules, /history, and /health reflect the run as it
+        # happens -- and so the firing-instant probe below sees it.
+        server.alerts = objects["manager"]
+        server.history = objects["history"]
+        evaluator.alerts = objects["manager"]
+
+    def on_transition(event):
+        if event["alert"] != "entropy_collapse" or event["to"] != "firing":
+            return
+        base = "http://%s:%d" % (args.host, server.port)
+        try:
+            with urllib.request.urlopen(base + "/alerts", timeout=10.0) as response:
+                probe["alerts"] = json.loads(response.read().decode("utf-8"))
+            with urllib.request.urlopen(base + "/metrics", timeout=10.0) as response:
+                probe["metrics"] = response.read().decode("utf-8")
+        except Exception as error:  # noqa: BLE001 - report, don't crash the run
+            probe["error"] = str(error)
+
+    receiver = None
+    webhook_url = args.url
+    try:
+        if args.demo and webhook_url is None:
+            # Loopback receiver: proves webhook delivery over real HTTP.
+            receiver = WebhookReceiver(host=args.host).start()
+            webhook_url = receiver.url
+        summary = run_alert_demo(
+            telemetry,
+            packets=args.packets,
+            seed=args.seed,
+            webhook_url=webhook_url,
+            on_transition=on_transition if args.demo else None,
+            on_ready=on_ready,
+        )
+        manager = summary["manager"]
+        print(
+            "alerts: %d packets, %d epochs, entropy_collapse transitions %s"
+            % (summary["packets"], summary["epochs"], summary["entropy_transitions"]),
+            file=sys.stderr,
+        )
+
+        if args.demo:
+            problems = validate_alert_demo(
+                telemetry, summary, expect_webhook=webhook_url is not None
+            )
+            if "error" in probe:
+                problems.append(
+                    "HTTP probe at the firing instant failed: %s" % probe["error"]
+                )
+            elif "alerts" not in probe:
+                problems.append(
+                    "entropy_collapse never fired, so the /alerts probe never ran"
+                )
+            else:
+                fired = [
+                    status
+                    for status in probe["alerts"].get("firing", [])
+                    if status["alert"] == "entropy_collapse"
+                ]
+                if not fired:
+                    problems.append(
+                        "/alerts did not list entropy_collapse under 'firing' "
+                        "at the firing instant"
+                    )
+                pattern = (
+                    r'^ALERTS\{alertname="entropy_collapse",'
+                    r'alertstate="firing"[^}]*\} 1(\.0)?$'
+                )
+                if not re.search(pattern, probe.get("metrics", ""), re.MULTILINE):
+                    problems.append(
+                        'no ALERTS{alertname="entropy_collapse",alertstate='
+                        '"firing"} 1 sample in /metrics at the firing instant'
+                    )
+            if receiver is not None:
+                hits = [
+                    body
+                    for body in receiver.received
+                    if body.get("alert") == "entropy_collapse"
+                ]
+                if not hits:
+                    problems.append(
+                        "webhook receiver saw no entropy_collapse notification"
+                    )
+            for problem in problems:
+                print("alerts: %s" % problem, file=sys.stderr)
+            if not problems:
+                print(
+                    "alerts: lifecycle verified over HTTP (fired, notified, "
+                    "resolved; webhook %s)"
+                    % ("delivered" if webhook_url else "not configured"),
+                    file=sys.stderr,
+                )
+
+        if args.eval:
+            print(json.dumps(manager.as_dict(), indent=2, sort_keys=True))
+
+        if args.serve:
+            import time
+
+            print(
+                "serving /metrics /snapshot /alerts /rules /history /health on "
+                "http://%s:%d (Ctrl-C to stop)" % (args.host, server.port),
+                file=sys.stderr,
+            )
+            try:
+                while True:  # the daemon thread serves; park until Ctrl-C
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if receiver is not None:
+            receiver.close()
+        server.close()
     return 1 if problems else 0
 
 
@@ -873,6 +1018,35 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--port", type=int, default=9109)
     _add_monitor_arguments(profile)
     profile.set_defaults(func=cmd_profile)
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="alerting + anomaly-detection demo (docs/OBSERVABILITY.md)",
+    )
+    alerts.add_argument(
+        "--demo", action="store_true",
+        help="replay the DDoS-onset trace and verify the full alert "
+             "lifecycle over HTTP (fires, notifies, resolves)",
+    )
+    alerts.add_argument(
+        "--eval", action="store_true",
+        help="print the post-run alert states and sink stats as JSON",
+    )
+    alerts.add_argument(
+        "--serve", action="store_true",
+        help="keep serving /metrics /snapshot /alerts /rules /history "
+             "/health after the run",
+    )
+    alerts.add_argument(
+        "--url", default=None,
+        help="deliver webhook notifications to this URL (default: a "
+             "loopback receiver started for the demo)",
+    )
+    alerts.add_argument("--packets", type=int, default=60_000)
+    alerts.add_argument("--seed", type=int, default=7)
+    alerts.add_argument("--host", default="127.0.0.1")
+    alerts.add_argument("--port", type=int, default=0)
+    alerts.set_defaults(func=cmd_alerts)
 
     return parser
 

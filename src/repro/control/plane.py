@@ -65,6 +65,13 @@ class ControlPlane:
         after the newest valid checkpoint's epoch, and the restored
         monitor is re-seeded into ``monitors`` so change detection can
         subtract across the restart.
+    anomaly / alerts:
+        The alert plane's epoch hook: after tasks and auditing, the
+        :class:`~repro.telemetry.anomaly.SketchAnomalyDetectors` (if
+        any) observe the epoch's monitor, then the
+        :class:`~repro.telemetry.alerts.AlertManager` (if any) runs one
+        evaluation round.  Both sequential and parallel epoch loops
+        share the hook.
     """
 
     def __init__(
@@ -77,6 +84,8 @@ class ControlPlane:
         auditor=None,
         checkpoints=None,
         checkpoint_interval: int = 1,
+        anomaly=None,
+        alerts=None,
     ) -> None:
         if keep_monitors is not None and keep_monitors < 1:
             raise ValueError("keep_monitors must be >= 1 or None")
@@ -90,6 +99,8 @@ class ControlPlane:
         self.auditor = auditor
         self.checkpoints = checkpoints
         self.checkpoint_interval = checkpoint_interval
+        self.anomaly = anomaly
+        self.alerts = alerts
         #: The most recent per-epoch monitors (bounded by ``keep_monitors``).
         self.monitors: List[object] = []
 
@@ -284,6 +295,10 @@ class ControlPlane:
             )
         if self.auditor is not None:
             self._audit_epoch(monitor, epoch_trace)
+        if self.anomaly is not None:
+            self.anomaly.observe_epoch(monitor, len(epoch_trace))
+        if self.alerts is not None:
+            self.alerts.evaluate()
         if (
             self.checkpoints is not None
             and (offset + 1) % self.checkpoint_interval == 0

@@ -62,6 +62,11 @@ VERIFY_OVERHEAD_CEILING = 1.05
 #: ingest path.
 TRACING_OVERHEAD_CEILING = 1.10
 
+#: The alert plane at its default cadence -- sketch-driven anomaly
+#: detectors observing every epoch plus an AlertManager evaluating the
+#: default rule set -- may cost at most this factor versus bare ingest.
+ALERT_OVERHEAD_CEILING = 1.10
+
 
 # -- seed (pre-kernel) reference implementations ---------------------------
 
@@ -383,6 +388,93 @@ def tracing_overhead(
         "bare_seconds": bare_seconds,
         "traced_seconds": traced_seconds,
         "ratio": traced_seconds / bare_seconds,
+    }
+
+
+def alert_overhead(
+    scale: float = 1.0,
+    seed: int = 0,
+    repeats: int = 3,
+    chunk: int = 16384,
+    epoch_every: int = 32,
+) -> Dict[str, float]:
+    """Cost of the alert plane + anomaly detectors on the ingest path.
+
+    Feeds the same chunked CAIDA-like stream through a NitroSketch
+    K-ary monitor twice: once bare, and once with the PR-8 alert plane
+    live -- :class:`~repro.telemetry.anomaly.SketchAnomalyDetectors`
+    observing an epoch every ``epoch_every`` chunks (sketch clone +
+    difference + candidate queries + entropy/churn scores) and an
+    :class:`~repro.telemetry.AlertManager` evaluating the default rule
+    set at each epoch boundary.  The ratio is gated at
+    :data:`ALERT_OVERHEAD_CEILING` by ``scripts/check_perf.py``; it is
+    what bounds the "alerting is cheap enough to leave on" claim.
+
+    The epoch size is the knob that makes this gate meaningful: the
+    per-epoch cost (~0.5 ms: one sketch clone + difference, a few
+    hundred candidate queries, one registry snapshot) is fixed, so the
+    ratio depends on how much ingest an epoch amortises it over.  The
+    default cadence of ``chunk * epoch_every`` = 524k packets per epoch
+    matches the production shape -- an epoch is seconds of traffic, not
+    a handful of batches -- which is why ``n`` has a higher floor here
+    than the other overhead benchmarks.
+    """
+    from repro.core import nitro_kary
+    from repro.telemetry import AlertManager, HistoryStore, ManualClock, Telemetry
+    from repro.telemetry.anomaly import SketchAnomalyDetectors, default_alert_rules
+
+    n = max(300_000, int(600_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    chunks = [keys[start : start + chunk] for start in range(0, len(keys), chunk)]
+    # Never let a small run dodge the gate entirely: at least one epoch
+    # boundary must land inside the measured pass.
+    epoch_every = min(epoch_every, len(chunks))
+
+    def build():
+        return nitro_kary(
+            depth=DEPTH, width=8192, probability=0.01, top_k=100, seed=seed + 131
+        )
+
+    bare_nitro = build()
+    alerted_nitro = build()
+    telemetry = Telemetry()
+    detectors = SketchAnomalyDetectors(telemetry=telemetry)
+    manager = AlertManager(
+        telemetry,
+        rules=default_alert_rules(),
+        history=HistoryStore(),
+        clock=ManualClock(),
+    )
+    epoch_packets = chunk * epoch_every
+
+    def bare_pass():
+        for piece in chunks:
+            bare_nitro.update_batch(piece)
+
+    def alert_pass():
+        detectors.reset()
+        for index, piece in enumerate(chunks):
+            alerted_nitro.update_batch(piece)
+            if (index + 1) % epoch_every == 0:
+                detectors.observe_epoch(alerted_nitro, epoch_packets)
+                manager.evaluate()
+
+    # Warm-up, then interleaved best-of rounds so machine-load drift
+    # moves both sides alike (same rationale as tracing_overhead).
+    bare_pass()
+    alert_pass()
+    bare_seconds = float("inf")
+    alerted_seconds = float("inf")
+    for _ in range(max(repeats, 7)):
+        bare_seconds = min(bare_seconds, _best_time(bare_pass, 1))
+        alerted_seconds = min(alerted_seconds, _best_time(alert_pass, 1))
+    return {
+        "packets": float(n),
+        "epoch_every": float(epoch_every),
+        "bare_seconds": bare_seconds,
+        "alerted_seconds": alerted_seconds,
+        "ratio": alerted_seconds / bare_seconds,
     }
 
 

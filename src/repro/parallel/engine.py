@@ -549,6 +549,12 @@ class ParallelIngestEngine:
     crash_plan / corruption_plan:
         Deterministic fault injection (see :mod:`repro.faults.inject`);
         production runs leave both None.
+    alerts:
+        Optional :class:`~repro.telemetry.alerts.AlertManager`.  After
+        every run's worker-level signals are fanned into telemetry
+        (restarts, corrupt frames, per-worker rates), the manager runs
+        one evaluation round, so rules such as ``worker_crash_loop``
+        fire off the same data the ``nitrosketch top`` panel shows.
     """
 
     def __init__(
@@ -567,6 +573,7 @@ class ParallelIngestEngine:
         start_method: Optional[str] = None,
         crash_plan: Optional[WorkerCrashPlan] = None,
         corruption_plan: Optional[FrameCorruptionPlan] = None,
+        alerts=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1, got %d" % workers)
@@ -597,6 +604,7 @@ class ParallelIngestEngine:
         self.start_method = start_method
         self.crash_plan = crash_plan
         self.corruption_plan = corruption_plan
+        self.alerts = alerts
 
     # -- helpers ---------------------------------------------------------------
 
@@ -820,6 +828,8 @@ class ParallelIngestEngine:
         from repro.telemetry.fanin import record_parallel_run
 
         record_parallel_run(self.telemetry, result)
+        if self.alerts is not None:
+            self.alerts.evaluate()
         return result
 
     def _spawn(self, spec: WorkerSpec) -> None:

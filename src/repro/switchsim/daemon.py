@@ -83,6 +83,14 @@ class MeasurementDaemon:
         monitor every that many ingested batches; the distance to the
         last checkpoint is exported as ``daemon_checkpoint_age_batches``
         for the ``checkpoint_staleness`` health rule.
+    anomaly / alerts / epoch_batches:
+        The alert plane's epoch hook.  With ``epoch_batches > 0`` every
+        that many ingested batches closes a detector epoch: the
+        :class:`~repro.telemetry.anomaly.SketchAnomalyDetectors` (if
+        any) observe the monitor with the packets the epoch carried,
+        then the :class:`~repro.telemetry.alerts.AlertManager` (if any)
+        runs one evaluation round.  :meth:`epoch_boundary` can also be
+        called explicitly (trailing partial epochs).
     """
 
     def __init__(
@@ -96,6 +104,9 @@ class MeasurementDaemon:
         queue_capacity: int = 0,
         checkpoints=None,
         checkpoint_interval: int = 0,
+        anomaly=None,
+        alerts=None,
+        epoch_batches: int = 0,
     ) -> None:
         self.monitor = monitor
         self.mode = mode
@@ -126,6 +137,14 @@ class MeasurementDaemon:
             raise ValueError("checkpoint_interval set but no CheckpointManager given")
         self.checkpoints = checkpoints
         self.checkpoint_interval = checkpoint_interval
+        if epoch_batches < 0:
+            raise ValueError("epoch_batches must be >= 0, got %d" % epoch_batches)
+        self.anomaly = anomaly
+        self.alerts = alerts
+        self.epoch_batches = epoch_batches
+        self.epochs_completed = 0
+        self._batches_since_epoch = 0
+        self._packets_since_epoch = 0
         self.batches_ingested = 0
         self._batches_since_checkpoint = 0
         # Probe both call signatures once up front (as for ``update``'s
@@ -174,6 +193,27 @@ class MeasurementDaemon:
                 self._batches_since_checkpoint,
                 daemon=self.name,
             )
+        self._batches_since_epoch += 1
+        self._packets_since_epoch += len(batch)
+        if self.epoch_batches > 0 and self._batches_since_epoch >= self.epoch_batches:
+            self.epoch_boundary()
+
+    def epoch_boundary(self) -> None:
+        """Close one detector epoch: anomaly signals, then alert rules.
+
+        No-op when nothing accumulated since the last boundary, so an
+        explicit trailing call after a partial epoch is always safe.
+        """
+        packets = self._packets_since_epoch
+        self._batches_since_epoch = 0
+        self._packets_since_epoch = 0
+        if packets <= 0:
+            return
+        self.epochs_completed += 1
+        if self.anomaly is not None:
+            self.anomaly.observe_epoch(self.monitor, packets)
+        if self.alerts is not None:
+            self.alerts.evaluate()
 
     def checkpoint(self):
         """Checkpoint the monitor now; returns the written Checkpoint."""
@@ -334,7 +374,12 @@ class MeasurementDaemon:
         self.batches_dropped = 0
         self.batches_ingested = 0
         self._batches_since_checkpoint = 0
+        self.epochs_completed = 0
+        self._batches_since_epoch = 0
+        self._packets_since_epoch = 0
         if hasattr(self.monitor, "reset"):
             self.monitor.reset()
         if self.auditor is not None and hasattr(self.auditor, "reset"):
             self.auditor.reset()
+        if self.anomaly is not None and hasattr(self.anomaly, "reset"):
+            self.anomaly.reset()

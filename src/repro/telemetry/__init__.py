@@ -29,7 +29,17 @@ post-hoc :class:`~repro.metrics.opcount.OpCounter` totals:
   histogram quantiles and flamegraph-compatible collapsed stacks;
 * :mod:`repro.telemetry.history` -- a bounded, downsampling time-series
   ring of registry snapshots (:class:`HistoryStore`) behind the
-  ``/history`` route.
+  ``/history`` route;
+* :mod:`repro.telemetry.alerts` -- the alert plane: declarative rules
+  (threshold/for-duration/hysteresis/burn-rate) over snapshots and
+  history windows, a per-labelset state machine and the
+  :class:`AlertManager` behind ``/alerts`` and ``/rules``;
+* :mod:`repro.telemetry.notify` -- notification sinks (log, JSONL,
+  webhook, in-memory) with delivery-failure accounting;
+* :mod:`repro.telemetry.anomaly` -- sketch-driven traffic-anomaly
+  detectors (K-ary change score, entropy-collapse DDoS onset/offset,
+  heavy-hitter churn) feeding the alert rules.  Imported lazily (it
+  needs NumPy).
 
 The :class:`Telemetry` facade bundles one registry and one tracer and is
 what instrumented components hold.  Mirroring the ``NullOps`` pattern of
@@ -66,6 +76,25 @@ from repro.telemetry.spans import (
     render_span_tree,
 )
 from repro.telemetry.history import HistoryStore
+from repro.telemetry.alerts import (
+    ALERT_STATES,
+    AlertManager,
+    AlertRule,
+    AlertStatus,
+    BurnRateRule,
+    Condition,
+    ManualClock,
+    ThresholdRule,
+)
+from repro.telemetry.notify import (
+    JsonlSink,
+    LogSink,
+    MemorySink,
+    Notification,
+    NotificationSink,
+    WebhookReceiver,
+    WebhookSink,
+)
 from repro.telemetry.exposition import (
     TelemetryServer,
     render_json,
@@ -138,6 +167,19 @@ METRIC_HELP: Dict[str, str] = {
     "parallel_wall_mpps": "End-to-end wall-clock rate of the last parallel run.",
     "parallel_aggregate_cpu_mpps": "Sum of per-worker CPU-clock rates.",
     "parallel_aggregate_busy_mpps": "Sum of per-worker busy-wall rates.",
+    "ALERTS": "Alert states: 1 on the current state of each alert, 0 elsewhere.",
+    "alerts_transitions_total": "Alert state-machine transitions, by alert and target state.",
+    "alerts_evaluations_total": "Alert-rule evaluation rounds.",
+    "notifications_sent_total": "Alert notifications delivered, by sink.",
+    "notifications_failed_total": "Alert notification delivery failures, by sink.",
+    "anomaly_change_score": "Largest single-flow epoch-over-epoch change as a fraction of epoch traffic.",
+    "anomaly_heavy_changers": "Flows whose epoch-over-epoch change exceeds the change-share threshold.",
+    "anomaly_entropy_bits": "Estimated flow-size entropy of the last epoch (bits).",
+    "anomaly_entropy_baseline_bits": "EMA baseline of epoch entropy (frozen during detected collapse).",
+    "anomaly_entropy_drop": "Fractional entropy drop vs baseline (DDoS-onset signal).",
+    "anomaly_hh_churn": "Jaccard distance between successive epochs' heavy-hitter sets.",
+    "anomaly_epoch_packets": "Packets carried by the last detector epoch.",
+    "anomaly_epochs_total": "Epochs observed by the anomaly detectors.",
 }
 
 
@@ -329,10 +371,25 @@ NULL_TELEMETRY = NullTelemetry()
 
 
 __all__ = [
+    "ALERT_STATES",
+    "AlertManager",
+    "AlertRule",
+    "AlertStatus",
+    "BurnRateRule",
+    "Condition",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "HistoryStore",
+    "JsonlSink",
+    "LogSink",
     "METRIC_HELP",
+    "ManualClock",
+    "MemorySink",
+    "Notification",
+    "NotificationSink",
+    "ThresholdRule",
+    "WebhookReceiver",
+    "WebhookSink",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_ACTIVE_SPAN",

@@ -211,6 +211,42 @@ def render_dashboard(
                 )
             )
 
+    # -- active alerts (the alert plane's ALERTS gauge family) -----------
+    alert_rows: List[Tuple[int, str, str, str, str]] = []
+    _ALERT_ORDER = {"firing": 0, "pending": 1, "resolved": 2}
+    for labels, sample in _samples(snap, "ALERTS"):
+        state = labels.get("alertstate", "")
+        if state not in _ALERT_ORDER or _to_float(sample.get("value", 0)) < 1:
+            continue
+        alert_rows.append(
+            (
+                _ALERT_ORDER[state],
+                labels.get("alertname", "?"),
+                state,
+                labels.get("severity", ""),
+                labels.get("labelset", ""),
+            )
+        )
+    if _samples(snap, "ALERTS"):
+        if alert_rows:
+            alert_rows.sort()
+            firing = sum(1 for row in alert_rows if row[2] == "firing")
+            lines.append(
+                "alerts      %d active (%d firing)" % (len(alert_rows), firing)
+            )
+            for _, name, state, severity, labelset in alert_rows[:8]:
+                lines.append(
+                    "  %-8s %-24s %s%s"
+                    % (
+                        state.upper() if state == "firing" else state,
+                        name,
+                        severity,
+                        " {%s}" % labelset if labelset else "",
+                    )
+                )
+        else:
+            lines.append("alerts      none active")
+
     # -- health rule verdicts --------------------------------------------
     verdicts = []
     overall = None

@@ -43,6 +43,27 @@ REQUIRED_EVENTS = (
     "simulate.run",
 )
 
+#: Metric families the alerting demo must populate.
+REQUIRED_ALERT_METRICS = (
+    "ALERTS",
+    "alerts_transitions_total",
+    "alerts_evaluations_total",
+    "notifications_sent_total",
+    "anomaly_entropy_bits",
+    "anomaly_entropy_drop",
+    "anomaly_change_score",
+    "anomaly_hh_churn",
+    "anomaly_epochs_total",
+    "daemon_batches_total",
+)
+
+#: The lifecycle the demo's entropy_collapse alert must walk, in order.
+ALERT_LIFECYCLE = (
+    ("inactive", "pending"),
+    ("pending", "firing"),
+    ("firing", "resolved"),
+)
+
 #: Metric families an audited run must additionally populate.
 REQUIRED_AUDIT_METRICS = (
     "audit_rounds_total",
@@ -175,6 +196,171 @@ def run_audited_demo(
         "violations": guard.violations,
         "mean_relative_error": report.audit.mean_relative_error,
     }
+
+
+def run_alert_demo(
+    telemetry,
+    packets: int = 60_000,
+    seed: int = 7,
+    epochs: int = 12,
+    webhook_url=None,
+    on_transition=None,
+    on_ready=None,
+):
+    """Replay the DDoS-onset trace through an alerting daemon.
+
+    The end-to-end proof of ISSUE 8: a :class:`MeasurementDaemon`
+    carrying a NitroSketch K-ary monitor ingests
+    :func:`~repro.telemetry.anomaly.ddos_onset_trace`; at every epoch
+    boundary the sketch-driven detectors update the ``anomaly_*``
+    gauges and the default rule set is evaluated.  The attack window
+    collapses flow entropy, so the ``entropy_collapse`` alert must walk
+    inactive → pending → firing, deliver notifications (to the
+    in-memory sink and, when ``webhook_url`` is given, over HTTP), and
+    resolve after the attack stops.  A :class:`ManualClock` pins every
+    transition timestamp, so the run is deterministic under ``seed``.
+
+    Returns a summary dict that also carries the live objects
+    (``manager``, ``history``, ``detectors``, ``daemon``) so the CLI
+    can serve them after the run.
+    """
+    from repro.core import nitro_kary
+    from repro.switchsim import MeasurementDaemon
+    from repro.telemetry import (
+        AlertManager,
+        HistoryStore,
+        ManualClock,
+        MemorySink,
+        WebhookSink,
+    )
+    from repro.telemetry.anomaly import (
+        SketchAnomalyDetectors,
+        ddos_onset_trace,
+        default_alert_rules,
+    )
+    from repro.traffic.replay import Batch
+
+    trace = ddos_onset_trace(packets, seed=seed)
+    detectors = SketchAnomalyDetectors(telemetry=telemetry)
+    history = HistoryStore()
+    memory = MemorySink()
+    sinks = [memory]
+    webhook = None
+    if webhook_url:
+        webhook = WebhookSink(webhook_url)
+        sinks.append(webhook)
+    manager = AlertManager(
+        telemetry,
+        rules=default_alert_rules(epoch_seconds=1.0),
+        history=history,
+        sinks=sinks,
+        # Evaluation i (= epoch i) happens at exactly t = i seconds.
+        clock=ManualClock(),
+        # Keep resolved alerts visible for post-run HTTP probes.
+        resolved_retention=1e9,
+        on_transition=on_transition,
+    )
+    monitor = nitro_kary(
+        depth=5, width=8192, probability=0.25, top_k=64, seed=seed
+    )
+    daemon = MeasurementDaemon(
+        monitor,
+        name="alert-demo",
+        telemetry=telemetry,
+        anomaly=detectors,
+        alerts=manager,
+        epoch_batches=4,
+    )
+    if on_ready is not None:
+        # Hand the live objects out before ingest starts, so a caller
+        # can attach them to an already-running TelemetryServer and
+        # probe /alerts over HTTP at the instant a transition happens.
+        on_ready(
+            {
+                "manager": manager,
+                "history": history,
+                "detectors": detectors,
+                "daemon": daemon,
+            }
+        )
+    n_batches = epochs * daemon.epoch_batches
+    step = max(len(trace) // n_batches, 1)
+    for index in range(n_batches):
+        piece = trace.slice(index * step, (index + 1) * step)
+        if len(piece) == 0:
+            break
+        daemon.ingest(
+            Batch(keys=piece.keys, sizes=piece.sizes, timestamps=piece.timestamps)
+        )
+    daemon.epoch_boundary()  # trailing partial epoch, if any
+
+    entropy_transitions = [
+        (event["from"], event["to"])
+        for event in manager.transitions
+        if event["alert"] == "entropy_collapse"
+    ]
+    return {
+        "packets": len(trace),
+        "seed": seed,
+        "epochs": daemon.epochs_completed,
+        "entropy_transitions": entropy_transitions,
+        "transitions": list(manager.transitions),
+        "fired": ("pending", "firing") in entropy_transitions,
+        "resolved": ("firing", "resolved") in entropy_transitions,
+        "notifications": list(memory.notifications),
+        "signals": detectors.last_signals,
+        "manager": manager,
+        "history": history,
+        "detectors": detectors,
+        "daemon": daemon,
+        "memory_sink": memory,
+        "webhook_sink": webhook,
+    }
+
+
+def validate_alert_demo(
+    telemetry, summary, expect_webhook: bool = False
+) -> List[str]:
+    """Check an alert-demo run hit every acceptance point."""
+    problems = []
+    for name in REQUIRED_ALERT_METRICS:
+        if name not in telemetry.registry:
+            problems.append("missing metric family: %s" % name)
+    # The entropy alert must walk the full lifecycle, in order.
+    sequence = list(summary["entropy_transitions"])
+    cursor = 0
+    for expected in ALERT_LIFECYCLE:
+        try:
+            cursor = sequence.index(expected, cursor) + 1
+        except ValueError:
+            problems.append(
+                "entropy_collapse never made the %s -> %s transition "
+                "(saw %r)" % (expected[0], expected[1], sequence)
+            )
+    states = {"firing": 0, "resolved": 0}
+    for notification in summary["notifications"]:
+        if notification.alert == "entropy_collapse":
+            states[notification.state] = states.get(notification.state, 0) + 1
+    if not states["firing"]:
+        problems.append("no firing notification for entropy_collapse")
+    if not states["resolved"]:
+        problems.append("no resolved notification for entropy_collapse")
+    if not telemetry.tracer.events("alert.transition"):
+        problems.append("missing trace event: alert.transition")
+    if not telemetry.tracer.events("anomaly.epoch"):
+        problems.append("missing trace event: anomaly.epoch")
+    webhook = summary.get("webhook_sink")
+    if expect_webhook:
+        if webhook is None:
+            problems.append("webhook sink was not attached")
+        elif webhook.sent == 0:
+            problems.append(
+                "webhook delivered nothing (failed=%d, last_error=%s)"
+                % (webhook.failed, webhook.last_error)
+            )
+        elif webhook.failed:
+            problems.append("webhook had %d delivery failure(s)" % webhook.failed)
+    return problems
 
 
 def validate_audit(telemetry, expect_violation: bool = False) -> List[str]:

@@ -13,9 +13,10 @@ Three ways out of the registry/tracer:
   (Prometheus), ``/snapshot`` (JSON), ``/trace`` (event JSONL),
   ``/spans`` (span JSONL), ``/history`` (the attached
   :class:`~repro.telemetry.history.HistoryStore` as JSON, filterable
-  with ``?metric=name``) and -- when a
-  :class:`~repro.telemetry.health.HealthEvaluator` is attached --
-  ``/health`` (rule-by-rule status JSON, 503 on failure).  No
+  with ``?metric=name``), ``/alerts`` + ``/rules`` (when an
+  :class:`~repro.telemetry.alerts.AlertManager` is attached) and --
+  when a :class:`~repro.telemetry.health.HealthEvaluator` is attached
+  -- ``/health`` (rule-by-rule status JSON, 503 on failure).  No
   third-party dependency: the point is that any Prometheus scraper or
   ``curl`` can watch a live run.
 
@@ -173,6 +174,9 @@ class TelemetryServer:
     ``fail`` so probes and load balancers get the conventional signal.
     Pass a :class:`~repro.telemetry.history.HistoryStore` as ``history``
     to serve ``/history`` (optionally filtered with ``?metric=name``).
+    Pass an :class:`~repro.telemetry.alerts.AlertManager` as ``alerts``
+    to serve ``/alerts`` (current states, recent transitions, sink
+    accounting) and ``/rules`` (the declarative rule catalogue).
     """
 
     def __init__(
@@ -182,10 +186,12 @@ class TelemetryServer:
         port: int = 9109,
         health=None,
         history=None,
+        alerts=None,
     ) -> None:
         self.telemetry = telemetry
         self.health = health
         self.history = history
+        self.alerts = alerts
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -211,6 +217,16 @@ class TelemetryServer:
                             metric = value
                     body = json.dumps(
                         outer.history.as_dict(metric=metric), indent=2, sort_keys=True
+                    ) + "\n"
+                    self._reply(200, "application/json", body)
+                elif path == "/alerts" and outer.alerts is not None:
+                    body = json.dumps(
+                        outer.alerts.as_dict(), indent=2, sort_keys=True
+                    ) + "\n"
+                    self._reply(200, "application/json", body)
+                elif path == "/rules" and outer.alerts is not None:
+                    body = json.dumps(
+                        outer.alerts.describe_rules(), indent=2, sort_keys=True
                     ) + "\n"
                     self._reply(200, "application/json", body)
                 elif path == "/health" and outer.health is not None:
@@ -320,9 +336,14 @@ class TelemetryServer:
 
 
 def start_http_server(
-    telemetry, host: str = "127.0.0.1", port: int = 9109, health=None, history=None
+    telemetry,
+    host: str = "127.0.0.1",
+    port: int = 9109,
+    health=None,
+    history=None,
+    alerts=None,
 ) -> TelemetryServer:
     """Start a daemon-thread HTTP endpoint for ``telemetry``."""
     return TelemetryServer(
-        telemetry, host=host, port=port, health=health, history=history
+        telemetry, host=host, port=port, health=health, history=history, alerts=alerts
     ).start()

@@ -322,13 +322,25 @@ class HealthEvaluator:
     (0 = ok, 1 = warn, 2 = fail) back into the same registry and traces
     ``health.transition`` events when the overall status changes, so the
     health history is itself observable.
+
+    Pass an :class:`~repro.telemetry.alerts.AlertManager` as ``alerts``
+    to unify the two planes: every evaluation mirrors the rule results
+    into ``health_<rule>`` alerts (fail = firing, warn = pending,
+    ok = inactive/resolved), so the ``/health`` route's 503 and a firing
+    alert can never disagree about the same condition.
     """
 
-    def __init__(self, telemetry, rules: Optional[Sequence[HealthRule]] = None) -> None:
+    def __init__(
+        self,
+        telemetry,
+        rules: Optional[Sequence[HealthRule]] = None,
+        alerts=None,
+    ) -> None:
         self.telemetry = telemetry
         self.rules = list(rules) if rules is not None else default_rules()
         if not self.rules:
             raise ValueError("at least one health rule required")
+        self.alerts = alerts
         self.evaluations = 0
         self.last_status: Optional[str] = None
 
@@ -354,4 +366,6 @@ class HealthEvaluator:
                 failing=[r.name for r in results if r.status != "ok"],
             )
             self.last_status = status
+        if self.alerts is not None:
+            self.alerts.observe_health(results)
         return HealthReport(status=status, results=results, evaluations=self.evaluations)

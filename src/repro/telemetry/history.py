@@ -145,6 +145,38 @@ class HistoryStore:
                     out.append((stamp, values[key]))
         return out
 
+    def window(
+        self,
+        metric: str,
+        since_seconds: float,
+        now: Optional[float] = None,
+        **labels,
+    ) -> List[Tuple[float, float]]:
+        """Samples of one labeled series in the trailing time range.
+
+        Returns ``[(timestamp, value), ...]`` (oldest first) for samples
+        with ``now - since_seconds <= timestamp <= now``.  ``now``
+        defaults to the newest recorded timestamp, so a paused store
+        still answers "the last N seconds of the run" -- the reading the
+        alert plane's for-duration and burn-rate rules need.  The result
+        honours whatever downsampling stride the ring has reached: after
+        compactions the window simply contains geometrically fewer
+        points, never interpolated ones.
+        """
+        if since_seconds < 0:
+            raise ValueError("since_seconds must be >= 0, got %r" % (since_seconds,))
+        key = sample_key(metric, {k: str(v) for k, v in labels.items()})
+        with self._lock:
+            if not self._samples:
+                return []
+            anchor = self._samples[-1][0] if now is None else float(now)
+            cutoff = anchor - float(since_seconds)
+            return [
+                (stamp, values[key])
+                for stamp, values in self._samples
+                if key in values and cutoff <= stamp <= anchor
+            ]
+
     def as_dict(self, metric: Optional[str] = None) -> Dict:
         """JSON-able dump for the ``/history`` route.
 
