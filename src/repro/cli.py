@@ -26,9 +26,11 @@ Subcommands:
 * ``selfcheck`` -- the differential + statistical correctness harness:
   every ingest path against the vanilla oracle, the sampling process
   against its closed-form math, the stack's cross-component invariants
-  under load, and the parallel plane against its sequential oracle;
-  exits non-zero on any violation (the CI selfcheck-smoke and
-  parallel-smoke jobs' entry point; see docs/VERIFICATION.md);
+  under load, the parallel plane against its sequential oracle, and the
+  sliding-window substrate against from-scratch window oracles;
+  exits non-zero on any violation (the CI selfcheck-smoke,
+  parallel-smoke and windows-smoke jobs' entry point; see
+  docs/VERIFICATION.md);
 * ``parallel`` -- run the multiprocess shared-memory ingest engine over
   a trace and report per-worker and aggregate throughput honestly
   (wall, CPU-clock, busy-wall -- see docs/PARALLELISM.md);
@@ -927,7 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument(
         "--suite",
         action="append",
-        choices=("differential", "statistical", "invariant", "parallel"),
+        choices=("differential", "statistical", "invariant", "parallel", "windows"),
         default=None,
         help="run only the named suite (repeatable; default: all)",
     )

@@ -22,7 +22,7 @@ from repro.control.tasks import (
     TaskReport,
 )
 from repro.control.plane import ControlPlane, EpochReport, KAryChangeMonitor
-from repro.control.windows import SlidingWindowMonitor
+from repro.control.windows import SlidingWindowMonitor, export_window_metrics
 from repro.control.export import (
     ControlLink,
     deserialize_epoch_frame,
@@ -56,6 +56,7 @@ __all__ = [
     "register_sketch_class",
     "export_cost",
     "SlidingWindowMonitor",
+    "export_window_metrics",
     "Checkpoint",
     "CheckpointManager",
 ]

@@ -20,6 +20,12 @@ versioned wire format of :mod:`repro.control.export`:
 Checkpoint files wrap the monitor frame in an outer frame carrying a
 JSON ``meta`` dict (epoch number, packets offered, ...) so recovery can
 resume epoch numbering and audit the surviving mass.
+
+Any serializable monitor round-trips, including a whole
+:class:`~repro.control.windows.SlidingWindowMonitor` ring -- the window
+frame carries every epoch sketch plus the in-progress epoch and its
+packet counts, so a windowed daemon restored mid-epoch resumes
+byte-exactly (see docs/WINDOWS.md).
 """
 
 from __future__ import annotations

@@ -210,7 +210,12 @@ def serialize_sketch(sketch: CanonicalSketch) -> bytes:
 def deserialize_sketch(data: bytes) -> CanonicalSketch:
     """Rebuild a sketch serialized by :func:`serialize_sketch`."""
     header, sections = _unframe(data)
-    if header.get("class") in ("NitroSketch", "UnivMon", "NitroUnivMon"):
+    if header.get("class") in (
+        "NitroSketch",
+        "UnivMon",
+        "NitroUnivMon",
+        "SlidingWindowMonitor",
+    ):
         raise ValueError(
             "frame holds a %s; use deserialize_monitor" % (header["class"],)
         )
@@ -283,17 +288,32 @@ def serialize_monitor(monitor) -> bytes:
     """Serialize any supported monitor to a CRC-checked frame.
 
     Supported: registered canonical sketches, :class:`NitroSketch`,
-    vanilla :class:`UnivMon` and :class:`NitroUnivMon`.  The round trip
-    is byte-exact: a restored monitor has identical counters, top-k
+    vanilla :class:`UnivMon`, :class:`NitroUnivMon`, and
+    :class:`~repro.control.windows.SlidingWindowMonitor` (every epoch
+    sketch in the ring plus the rotation cursor).  The round trip is
+    byte-exact: a restored monitor has identical counters, top-k
     contents, controller state and PRNG cursors, so it replays the rest
     of the stream exactly like the original would have.
     """
+    from repro.control.windows import SlidingWindowMonitor
     from repro.core.nitro import NitroSketch
     from repro.core.univmon_nitro import NitroUnivMon
     from repro.sketches.univmon import UnivMon
 
     if isinstance(monitor, CanonicalSketch):
         return serialize_sketch(monitor)
+    if isinstance(monitor, SlidingWindowMonitor):
+        return _frame(
+            _window_header(monitor),
+            # Section 0 is a pristine "template" frame (one fresh
+            # factory build): restore synthesizes the epoch factory by
+            # replaying it, so a restored window rotates without the
+            # caller rebinding a factory closure.  Then the completed
+            # ring epochs oldest-first, then the in-progress epoch.
+            [serialize_monitor(monitor.monitor_factory())]
+            + [serialize_monitor(member) for member in monitor._ring]
+            + [serialize_monitor(monitor._current)],
+        )
     if isinstance(monitor, NitroSketch):
         header: Dict[str, Any] = {
             "class": "NitroSketch",
@@ -333,6 +353,48 @@ def serialize_monitor(monitor) -> bytes:
     if isinstance(monitor, UnivMon):
         return _frame(_univmon_header(monitor), _univmon_sections(monitor))
     raise TypeError("unsupported monitor class %r" % (type(monitor).__name__,))
+
+
+def _window_header(monitor) -> Dict[str, Any]:
+    return {
+        "class": "SlidingWindowMonitor",
+        "window_epochs": monitor.window_epochs,
+        "epoch_packets": monitor.epoch_packets,
+        "current_count": monitor._current_count,
+        "epochs_rotated": monitor.epochs_rotated,
+        "ring_counts": [int(count) for count in monitor._ring_counts],
+    }
+
+
+def _restore_window(header: Dict[str, Any], sections: List[bytes]):
+    from repro.control.windows import SlidingWindowMonitor
+
+    ring_counts = [int(count) for count in header["ring_counts"]]
+    if len(sections) != len(ring_counts) + 2:
+        raise ValueError(
+            "window frame carries %d sections for %d ring epochs "
+            "(expected template + ring + current)"
+            % (len(sections), len(ring_counts))
+        )
+    # The template section is kept as bytes: deserializing it on demand
+    # IS the epoch factory, and re-serializing the restored window
+    # regenerates the identical template frame (round trips are
+    # byte-exact), so checkpoint-of-restore equals the original.
+    template = bytes(sections[0])
+    window = SlidingWindowMonitor(
+        lambda: deserialize_monitor(template),
+        int(header["window_epochs"]),
+        int(header["epoch_packets"]),
+    )
+    window._ring.clear()
+    window._ring.extend(deserialize_monitor(section) for section in sections[1:-1])
+    window._ring_counts.clear()
+    window._ring_counts.extend(ring_counts)
+    window._current = deserialize_monitor(sections[-1])
+    window._current_count = int(header["current_count"])
+    window.epochs_rotated = int(header["epochs_rotated"])
+    window._merged = None
+    return window
 
 
 def _univmon_header(monitor) -> Dict[str, Any]:
@@ -391,6 +453,9 @@ def deserialize_monitor(data: bytes):
 
     if class_name in _SKETCH_CLASSES:
         return _restore_sketch(header, sections[0] if sections else b"")
+
+    if class_name == "SlidingWindowMonitor":
+        return _restore_window(header, sections)
 
     if class_name == "NitroSketch":
         sketch = _restore_sketch(header["sketch"], sections[0] if sections else b"")

@@ -71,7 +71,17 @@ class ControlPlane:
         any) observe the epoch's monitor, then the
         :class:`~repro.telemetry.alerts.AlertManager` (if any) runs one
         evaluation round.  Both sequential and parallel epoch loops
-        share the hook.
+        share the hook.  (Plane-evaluated monitors are fresh per epoch,
+        so detectors here want ``cumulative=False``.)
+    window_epochs:
+        With ``window_epochs > 0`` the plane additionally maintains a
+        :class:`~repro.control.windows.SlidingWindowMonitor` over the
+        last that many completed epochs: each epoch boundary adopts the
+        epoch's monitor into the ring (epoch-driven rotation), window
+        gauges (``window_*``) are re-exported, window-scoped heavy
+        hitters/entropy become queryable on :attr:`window`, and -- when
+        a :class:`CheckpointManager` is attached -- the checkpoint
+        carries the whole ring instead of one epoch's monitor.
     """
 
     def __init__(
@@ -86,11 +96,14 @@ class ControlPlane:
         checkpoint_interval: int = 1,
         anomaly=None,
         alerts=None,
+        window_epochs: int = 0,
     ) -> None:
         if keep_monitors is not None and keep_monitors < 1:
             raise ValueError("keep_monitors must be >= 1 or None")
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if window_epochs < 0:
+            raise ValueError("window_epochs must be >= 0")
         self.monitor_factory = monitor_factory
         self.tasks = list(tasks)
         self.score = score
@@ -103,6 +116,18 @@ class ControlPlane:
         self.alerts = alerts
         #: The most recent per-epoch monitors (bounded by ``keep_monitors``).
         self.monitors: List[object] = []
+        #: Sliding window over completed epochs (``window_epochs > 0``).
+        self.window = None
+        if window_epochs > 0:
+            from repro.control.windows import SlidingWindowMonitor
+
+            # Epoch index 0 for the merge-scratch factory: factories
+            # must use a fixed seed across epochs anyway (change
+            # detection subtracts same-seed sketches), so any index
+            # yields a merge-compatible instance.
+            self.window = SlidingWindowMonitor(
+                lambda: monitor_factory(0), window_epochs
+            )
 
     def restore_on_start(self) -> int:
         """Restore the newest valid checkpoint; return the next epoch number.
@@ -118,7 +143,18 @@ class ControlPlane:
         restored = self.checkpoints.restore_latest()
         if restored is None:
             return 0
-        self.monitors.append(restored.monitor)
+        from repro.control.windows import SlidingWindowMonitor
+
+        if isinstance(restored.monitor, SlidingWindowMonitor):
+            # A windowed plane checkpointed the whole ring: reinstall it
+            # and re-seed ``monitors`` with the newest completed epoch
+            # so change detection can subtract across the restart.
+            self.window = restored.monitor
+            members = restored.monitor.window_monitors()[:-1]
+            if members:
+                self.monitors.append(members[-1])
+        else:
+            self.monitors.append(restored.monitor)
         next_epoch = int(restored.meta.get("epoch", -1)) + 1
         self.telemetry.event(
             "control.restored", epoch=next_epoch - 1, sequence=restored.sequence
@@ -299,12 +335,19 @@ class ControlPlane:
             self.anomaly.observe_epoch(monitor, len(epoch_trace))
         if self.alerts is not None:
             self.alerts.evaluate()
+        if self.window is not None:
+            from repro.control.windows import export_window_metrics
+
+            self.window.adopt_epoch(monitor, len(epoch_trace))
+            export_window_metrics(self.window, telemetry)
         if (
             self.checkpoints is not None
             and (offset + 1) % self.checkpoint_interval == 0
         ):
             self.checkpoints.save(
-                monitor,
+                # A windowed plane checkpoints the whole ring, so a
+                # restart recovers the full window, not just one epoch.
+                self.window if self.window is not None else monitor,
                 meta={"epoch": epoch, "packets": len(epoch_trace)},
             )
             telemetry.gauge("control_checkpoint_age_epochs", 0)

@@ -19,7 +19,13 @@ fault class, drives recovery through the real
   rot): same contract, caught purely by CRC since the length is intact;
 * ``drop_exports`` -- ship per-epoch exports over a lossy channel:
   every delivered frame must decode, and every dropped frame must be
-  detectable as a sequence gap.
+  detectable as a sequence gap;
+* ``window_corruption`` -- zero one epoch sketch inside a sliding
+  window's ring: the merged window must still satisfy the Theorem 2
+  bound against the *uncorrupted* epochs' ground truth (blast radius =
+  one epoch), while the identical corruption applied to an unwindowed
+  monitor -- whose single sketch holds every epoch's mass -- must trip
+  the violation.
 """
 
 from __future__ import annotations
@@ -106,9 +112,13 @@ class ChaosRunner:
     def _audit(self, monitor, packet_count: int):
         """Theorem-2 check of ``monitor`` against the trace's first
         ``packet_count`` packets (the surviving mass)."""
+        return self._audit_keys(monitor, self.trace.keys[:packet_count])
+
+    def _audit_keys(self, monitor, keys):
+        """Theorem-2 check of ``monitor`` against exactly ``keys``."""
         auditor = ShadowAuditor(capacity=256, seed=self.seed)
         guarantee = GuaranteeMonitor(auditor, monitor)
-        auditor.observe_batch(self.trace.keys[:packet_count])
+        auditor.observe_batch(keys)
         return guarantee.check()
 
     # -- scenarios ------------------------------------------------------------
@@ -295,6 +305,88 @@ class ChaosRunner:
             metrics={"dropped": float(channel.dropped), "sent": float(channel.sent)},
         )
 
+    def window_corruption(self) -> ChaosResult:
+        """Corrupt one ring epoch: the window degrades, a monolith dies.
+
+        Zeroing one epoch sketch inside the ring loses exactly that
+        epoch's contribution -- the merged window must still satisfy
+        the Theorem 2 bound against the uncorrupted epochs' ground
+        truth.  The identical corruption (one sketch's counter grid
+        zeroed) on an unwindowed monitor wipes *every* epoch's mass and
+        must trip the GuaranteeMonitor violation.
+        """
+        name = "window_corruption"
+        from repro.control.windows import SlidingWindowMonitor
+
+        epochs = 4
+        epoch_packets = len(self.trace) // epochs
+        if epoch_packets < 2000:
+            return ChaosResult(name, False, "trace too small for %d epochs" % epochs)
+        keys = self.trace.keys[: epochs * epoch_packets]
+        window = SlidingWindowMonitor(
+            self._build_monitor,
+            window_epochs=epochs + 1,
+            epoch_packets=epoch_packets,
+        )
+        window.update_batch(keys)
+        ring = window.window_monitors()[:-1]
+        if len(ring) != epochs:
+            return ChaosResult(
+                name, False, "ring holds %d epochs, expected %d" % (len(ring), epochs)
+            )
+        baseline = self._audit_keys(window.merged(), keys)
+        if baseline.violated:
+            return ChaosResult(
+                name, False, "window bound violated before any corruption"
+            )
+
+        # The fault: one epoch's counter grid zeroed in place.
+        corrupt_index = 1
+        ring[corrupt_index].sketch.counters.fill(0.0)
+        window.invalidate()
+        surviving = np.concatenate(
+            [
+                keys[index * epoch_packets : (index + 1) * epoch_packets]
+                for index in range(epochs)
+                if index != corrupt_index
+            ]
+        )
+        windowed = self._audit_keys(window.merged(), surviving)
+        if windowed.violated:
+            return ChaosResult(
+                name,
+                False,
+                "window did not degrade gracefully: bound violated on the "
+                "uncorrupted epochs (observed %.1f > bound %.1f)"
+                % (windowed.observed_max_error, windowed.bound),
+            )
+
+        # Same corruption, no window: one sketch holds all the mass.
+        monolith = self._build_monitor()
+        monolith.update_batch(keys)
+        monolith.sketch.counters.fill(0.0)
+        unwindowed = self._audit_keys(monolith, surviving)
+        if not unwindowed.violated:
+            return ChaosResult(
+                name,
+                False,
+                "unwindowed corruption went undetected (observed %.1f, "
+                "bound %.1f)"
+                % (unwindowed.observed_max_error, unwindowed.bound),
+            )
+        return ChaosResult(
+            name,
+            True,
+            "epoch %d/%d zeroed: window error/bound %.3f on surviving epochs "
+            "(%.3f pre-corruption), unwindowed corruption trips the violation"
+            % (corrupt_index, epochs, windowed.ratio, baseline.ratio),
+            metrics={
+                "baseline_ratio": float(baseline.ratio),
+                "windowed_ratio": float(windowed.ratio),
+                "unwindowed_observed": float(unwindowed.observed_max_error),
+            },
+        )
+
     # -- driver ---------------------------------------------------------------
 
     def run_all(self) -> List[ChaosResult]:
@@ -303,6 +395,7 @@ class ChaosRunner:
             self.truncate_fallback(),
             self.corrupt_fallback(),
             self.drop_exports(),
+            self.window_corruption(),
         ]
 
 

@@ -91,6 +91,18 @@ class MeasurementDaemon:
         then the :class:`~repro.telemetry.alerts.AlertManager` (if any)
         runs one evaluation round.  :meth:`epoch_boundary` can also be
         called explicitly (trailing partial epochs).
+    window_epochs:
+        With ``window_epochs > 0`` the daemon measures over a sliding
+        window instead of one unbounded epoch: the monitor is wrapped
+        in a :class:`~repro.control.windows.SlidingWindowMonitor`
+        spanning that many epochs (a monitor that already *is* one is
+        used as-is) and every :meth:`epoch_boundary` rotates the ring.
+        The anomaly detectors then observe the completed epoch's ring
+        member directly (``cumulative`` is forced off -- each epoch
+        sketch holds exactly one epoch of traffic), alert rules see
+        windowed signals, and window-scoped gauges (``window_*``) are
+        re-exported after each rotation.  Checkpoints carry the whole
+        ring; :meth:`restore_latest` resumes mid-epoch byte-exactly.
     """
 
     def __init__(
@@ -107,7 +119,25 @@ class MeasurementDaemon:
         anomaly=None,
         alerts=None,
         epoch_batches: int = 0,
+        window_epochs: int = 0,
     ) -> None:
+        if window_epochs < 0:
+            raise ValueError("window_epochs must be >= 0, got %d" % window_epochs)
+        from repro.control.windows import SlidingWindowMonitor
+
+        if window_epochs > 0 and not isinstance(monitor, SlidingWindowMonitor):
+            # Wrap the (pristine) monitor: rotation is daemon-driven at
+            # epoch boundaries, not packet-count-driven.
+            monitor = SlidingWindowMonitor.from_template(monitor, window_epochs)
+        self.windowed = isinstance(monitor, SlidingWindowMonitor)
+        self.window_epochs = (
+            monitor.window_epochs if self.windowed else 0
+        )
+        if self.windowed and anomaly is not None:
+            # Each ring epoch holds exactly one epoch of traffic, so the
+            # detectors query it directly instead of differencing
+            # against a cumulative snapshot.
+            anomaly.cumulative = False
         self.monitor = monitor
         self.mode = mode
         self.name = name or type(monitor).__name__
@@ -210,6 +240,20 @@ class MeasurementDaemon:
         if packets <= 0:
             return
         self.epochs_completed += 1
+        if self.windowed:
+            # Windowed mode: detectors see the epoch that just
+            # completed (the in-progress ring member, one epoch of
+            # traffic), alerts evaluate the resulting signals, then the
+            # ring rotates and the window-scoped gauges are refreshed.
+            if self.anomaly is not None:
+                self.anomaly.observe_epoch(self.monitor.current_monitor(), packets)
+            if self.alerts is not None:
+                self.alerts.evaluate()
+            self.monitor.rotate()
+            from repro.control.windows import export_window_metrics
+
+            export_window_metrics(self.monitor, self.telemetry)
+            return
         if self.anomaly is not None:
             self.anomaly.observe_epoch(self.monitor, packets)
         if self.alerts is not None:
@@ -251,7 +295,12 @@ class MeasurementDaemon:
         restored = self.checkpoints.restore_latest()
         if restored is None:
             return False
+        from repro.control.windows import SlidingWindowMonitor
+
         self.monitor = restored.monitor
+        self.windowed = isinstance(self.monitor, SlidingWindowMonitor)
+        if self.windowed:
+            self.window_epochs = self.monitor.window_epochs
         if hasattr(self.monitor, "ops"):
             self.monitor.ops = self.ops
         if hasattr(self.monitor, "telemetry"):

@@ -180,6 +180,12 @@ METRIC_HELP: Dict[str, str] = {
     "anomaly_hh_churn": "Jaccard distance between successive epochs' heavy-hitter sets.",
     "anomaly_epoch_packets": "Packets carried by the last detector epoch.",
     "anomaly_epochs_total": "Epochs observed by the anomaly detectors.",
+    "window_epochs_spanned": "Epoch sketches currently merged into the sliding window.",
+    "window_epochs_rotated": "Epoch rotations performed by the sliding window.",
+    "window_packets": "Packets covered by the sliding window (ring + in-progress epoch).",
+    "window_memory_bytes": "Counter bytes held across every epoch sketch in the window.",
+    "window_heavy_hitters": "Flows above the heavy-hitter share of the window's packets.",
+    "window_entropy_bits": "Estimated flow-size entropy over the sliding window (bits).",
 }
 
 

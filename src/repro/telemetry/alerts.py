@@ -405,7 +405,20 @@ class AlertManager:
         inactive.
     clock:
         Called exactly once per :meth:`evaluate`; inject
-        :class:`ManualClock` for determinism.
+        :class:`ManualClock` for determinism.  Defaults to
+        ``time.monotonic``: for-duration anchors, burn-rate history
+        windows, repeat-notification pacing and resolved-retention all
+        measure *elapsed* time, and a wall clock stepped backwards or
+        forwards by NTP would instantly promote pending alerts to
+        firing (or mask a real burn).  Wall-clock time is used only for
+        display/JSONL timestamps (see ``wall_clock``).
+    wall_clock:
+        Timestamp source for human-facing output (notification
+        timestamps).  Defaults to ``time.time`` when ``clock`` is the
+        default monotonic clock; when a custom ``clock`` is injected
+        (tests, demos) it defaults to that same clock so golden
+        transcripts stay deterministic.  Never consulted for state-
+        machine arithmetic.
     on_transition:
         Optional callback receiving each transition dict as it happens
         (the demo uses it to probe HTTP routes at the firing instant).
@@ -419,7 +432,8 @@ class AlertManager:
         sinks: Sequence[NotificationSink] = (),
         repeat_interval: float = 300.0,
         resolved_retention: float = 900.0,
-        clock: Callable[[], float] = time.time,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Optional[Callable[[], float]] = None,
         record_history: bool = True,
         transitions_capacity: int = 1024,
         on_transition: Optional[Callable[[Dict], None]] = None,
@@ -436,6 +450,15 @@ class AlertManager:
         self.repeat_interval = float(repeat_interval)
         self.resolved_retention = float(resolved_retention)
         self.clock = clock
+        # A custom state-machine clock (ManualClock in tests/demos)
+        # doubles as the display clock unless one is given explicitly:
+        # calling a second independent clock would break determinism.
+        if wall_clock is not None:
+            self.wall_clock = wall_clock
+        elif clock is time.monotonic:
+            self.wall_clock = time.time
+        else:
+            self.wall_clock = clock
         self.record_history = record_history
         self.on_transition = on_transition
         #: (alert name, labelset key) -> AlertStatus.  Entries are kept
@@ -550,11 +573,25 @@ class AlertManager:
                 self._notify(state, "firing", now)
         return events
 
+    def _wall(self, now: float) -> float:
+        """Display timestamp for an event happening at state-clock ``now``.
+
+        When the display clock is the state-machine clock itself (a
+        single injected ManualClock), ``now`` is reused rather than
+        advancing the clock a second time.
+        """
+        if self.wall_clock is self.clock:
+            return now
+        return self.wall_clock()
+
     def _transition(
         self, state: AlertStatus, to: str, now: float, notify: bool
     ) -> List[Dict]:
         event = {
-            "time": now,
+            # Wall-clock for humans reading the JSONL; all state-machine
+            # arithmetic (since/active_since/last_notified) stays on the
+            # monotonic ``now``.
+            "time": self._wall(now),
             "alert": state.name,
             "labels": dict(state.labels),
             "from": state.state,
@@ -603,7 +640,7 @@ class AlertManager:
             labels=dict(state.labels),
             value=state.value,
             detail=state.detail,
-            timestamp=now,
+            timestamp=self._wall(now),
         )
         for sink in self.sinks:
             sink.notify(notification)

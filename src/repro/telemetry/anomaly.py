@@ -46,7 +46,37 @@ __all__ = [
     "SketchAnomalyDetectors",
     "ddos_onset_trace",
     "default_alert_rules",
+    "entropy_from_estimates",
 ]
+
+
+def entropy_from_estimates(estimates: Dict[int, float], packets: float) -> float:
+    """Entropy proxy: heavy estimates + singleton-mice residual.
+
+    Estimated heavy flows contribute their exact ``-p log2 p`` terms;
+    whatever epoch mass they do not explain is modelled as
+    single-packet mice (each ``1/m``), which keeps the background
+    epochs' entropy high and the attack epochs' entropy low -- the
+    contrast the detector needs.  A proxy, not an estimator with a
+    proven bound; its job is a stable, monotone-in-concentration
+    signal.  Shared by the per-epoch detectors and the window-scoped
+    gauges (:func:`repro.control.windows.export_window_metrics`).
+    """
+    if packets <= 0:
+        return 0.0
+    entropy = 0.0
+    explained = 0.0
+    for value in sorted(estimates.values(), reverse=True):
+        value = min(value, packets - explained)
+        if value <= 0:
+            break
+        share = value / packets
+        entropy -= share * math.log2(share)
+        explained += value
+    residual = packets - explained
+    if residual > 0 and packets > 1:
+        entropy += (residual / packets) * math.log2(packets)
+    return entropy
 
 
 class SketchAnomalyDetectors:
@@ -83,8 +113,10 @@ class SketchAnomalyDetectors:
         shape): epoch traffic is recovered by differencing against the
         previous boundary's counter snapshot.  False when the caller
         hands a *fresh* monitor per epoch (the
-        :class:`~repro.control.plane.ControlPlane` shape): the sketch
-        already holds exactly one epoch and is queried directly.
+        :class:`~repro.control.plane.ControlPlane` shape, and the
+        windowed daemon shape -- ``MeasurementDaemon(window_epochs=W)``
+        hands the in-progress ring epoch just before rotating it): the
+        sketch already holds exactly one epoch and is queried directly.
     """
 
     def __init__(
@@ -178,31 +210,8 @@ class SketchAnomalyDetectors:
 
     @staticmethod
     def _entropy_bits(estimates: Dict[int, float], packets: float) -> float:
-        """Entropy proxy: heavy estimates + singleton-mice residual.
-
-        Estimated heavy flows contribute their exact ``-p log2 p``
-        terms; whatever epoch mass they do not explain is modelled as
-        single-packet mice (each ``1/m``), which keeps the background
-        epochs' entropy high and the attack epochs' entropy low -- the
-        contrast the detector needs.  A proxy, not an estimator with a
-        proven bound; its job is a stable, monotone-in-concentration
-        signal.
-        """
-        if packets <= 0:
-            return 0.0
-        entropy = 0.0
-        explained = 0.0
-        for value in sorted(estimates.values(), reverse=True):
-            value = min(value, packets - explained)
-            if value <= 0:
-                break
-            share = value / packets
-            entropy -= share * math.log2(share)
-            explained += value
-        residual = packets - explained
-        if residual > 0 and packets > 1:
-            entropy += (residual / packets) * math.log2(packets)
-        return entropy
+        """See :func:`entropy_from_estimates` (module-level since PR 9)."""
+        return entropy_from_estimates(estimates, packets)
 
     # -- the epoch hook -----------------------------------------------------
 

@@ -211,6 +211,33 @@ def render_dashboard(
                 )
             )
 
+    # -- sliding window (window_* gauges from export_window_metrics) -----
+    window_packets = _value(snap, "window_packets")
+    if window_packets is not None:
+        spanned = _value(snap, "window_epochs_spanned")
+        rotated = _value(snap, "window_epochs_rotated")
+        memory = _value(snap, "window_memory_bytes")
+        lines.append(
+            "window      %s pkts over %s epoch sketch%s  (rotated %s, %s)"
+            % (
+                _format_count(window_packets),
+                "-" if spanned is None else "%d" % spanned,
+                "" if spanned == 1 else "es",
+                "-" if rotated is None else "%d" % rotated,
+                "-" if memory is None else _format_count(memory) + "B",
+            )
+        )
+        hitters = _value(snap, "window_heavy_hitters")
+        entropy = _value(snap, "window_entropy_bits")
+        if hitters is not None or entropy is not None:
+            lines.append(
+                "            heavy hitters %s   entropy %s"
+                % (
+                    "-" if hitters is None else "%d" % hitters,
+                    "-" if entropy is None else "%.2f bits" % entropy,
+                )
+            )
+
     # -- active alerts (the alert plane's ALERTS gauge family) -----------
     alert_rows: List[Tuple[int, str, str, str, str]] = []
     _ALERT_ORDER = {"firing": 0, "pending": 1, "resolved": 2}

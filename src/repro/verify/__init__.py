@@ -15,6 +15,7 @@ from repro.verify.invariants import install_strict_hook, run_invariant_checks
 from repro.verify.parallel import run_parallel_checks
 from repro.verify.result import CheckResult, InvariantViolation, VerifyReport
 from repro.verify.statistical import run_statistical_checks
+from repro.verify.windows import run_window_checks
 
 __all__ = [
     "CheckResult",
@@ -26,6 +27,7 @@ __all__ = [
     "run_statistical_checks",
     "run_invariant_checks",
     "run_parallel_checks",
+    "run_window_checks",
     "install_strict_hook",
     "implied_epsilon",
 ]

@@ -17,6 +17,7 @@ from repro.verify.invariants import run_invariant_checks
 from repro.verify.parallel import run_parallel_checks
 from repro.verify.result import CheckResult, VerifyReport
 from repro.verify.statistical import run_statistical_checks
+from repro.verify.windows import run_window_checks
 
 #: The registered suites, in the order a report lists them.
 SUITES: List[Tuple[str, Callable[..., List[CheckResult]]]] = [
@@ -24,6 +25,7 @@ SUITES: List[Tuple[str, Callable[..., List[CheckResult]]]] = [
     ("statistical", run_statistical_checks),
     ("invariant", run_invariant_checks),
     ("parallel", run_parallel_checks),
+    ("windows", run_window_checks),
 ]
 
 

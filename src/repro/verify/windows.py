@@ -1,0 +1,300 @@
+"""Windowed-substrate checks: the sliding window vs from-scratch oracles.
+
+The sliding window's correctness story is sketch linearity: a window of
+W epoch sketches merged together must be indistinguishable from one
+sketch that only ever saw the in-window packets.  This suite proves it:
+
+* **merged view is bit-exact** for vanilla sketches: the cached merged
+  window equals (``np.array_equal``) a fresh sketch fed exactly the
+  window-suffix packets, across several rotations;
+* **Nitro windows keep Theorem 2**: heavy-key estimates from a windowed
+  NitroSketch sit inside the ``eps * L2`` envelope computed over the
+  *window's* ground truth, not the lifetime's;
+* **rotate -> restore is byte-exact**: serializing a mid-epoch window
+  (ring + in-progress epoch), restoring it, and re-serializing yields
+  identical bytes, and continuing both copies over the same packets
+  keeps them byte-identical (recycled-epoch rotation included);
+* **checkpoints round-trip rings**: ``CheckpointManager.save`` of a
+  window followed by ``restore_latest`` reproduces the same bytes
+  through the atomic-write / CRC path;
+* **W=1 degenerates cleanly**: a one-epoch window is just the current
+  epoch -- no ghost ring members in ``window_monitors()`` or
+  ``window_packets()``;
+* **corruption degrades instead of lying**: one zeroed ring epoch keeps
+  the ShadowAuditor inside the surviving epochs' guarantee while the
+  same corruption on an unwindowed monitor trips the violation
+  (delegates to :meth:`~repro.faults.chaos.ChaosRunner.window_corruption`).
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from typing import List
+
+import numpy as np
+
+from repro.control.checkpoint import CheckpointManager
+from repro.control.export import deserialize_monitor, serialize_monitor
+from repro.control.windows import SlidingWindowMonitor
+from repro.core import NitroConfig, NitroSketch
+from repro.sketches import CountSketch
+from repro.traffic.traces import Trace, caida_like
+from repro.verify.differential import (
+    ENVELOPE_SLACK,
+    WITHIN_FRACTION,
+    implied_epsilon,
+)
+from repro.verify.result import CheckResult
+
+
+def _default_trace(packets: int, seed: int) -> Trace:
+    return caida_like(packets, n_flows=max(200, packets // 20), seed=seed)
+
+
+def _vanilla_factory(seed: int):
+    return lambda: CountSketch(4, 2048, seed=seed)
+
+
+def _nitro_factory(seed: int, probability: float = 0.1, width: int = 2048):
+    def make() -> NitroSketch:
+        return NitroSketch(
+            CountSketch(5, width, seed=seed),
+            NitroConfig(probability=probability, top_k=64, seed=seed),
+        )
+
+    return make
+
+
+def _window_suffix(keys: np.ndarray, window_epochs: int, epoch_packets: int) -> np.ndarray:
+    """The packets an oracle limited to the window should have seen.
+
+    With E packets per epoch, the window holds the in-progress epoch
+    plus the last ``min(W - 1, completed)`` completed epochs.
+    """
+    completed = len(keys) // epoch_packets
+    in_ring = min(window_epochs - 1, completed)
+    start = (completed - in_ring) * epoch_packets
+    return keys[start:]
+
+
+def check_merged_vs_oracle(packets: int = 10_000, seed: int = 0) -> CheckResult:
+    """Vanilla merged window must be bit-exact vs a window-only oracle."""
+    name = "windows.merged_vs_oracle"
+    epoch_packets = packets // 5
+    trace = _default_trace(packets, seed)
+    window = SlidingWindowMonitor(
+        _vanilla_factory(seed), window_epochs=3, epoch_packets=epoch_packets
+    )
+    window.update_batch(trace.keys)
+
+    oracle = _vanilla_factory(seed)()
+    oracle.update_batch(_window_suffix(trace.keys, 3, epoch_packets))
+
+    if not np.array_equal(window.merged().counters, oracle.counters):
+        delta = float(np.max(np.abs(window.merged().counters - oracle.counters)))
+        return CheckResult.fail(
+            name,
+            "merged window diverged from a from-scratch sketch over the "
+            "window suffix (max |delta| %g)" % delta,
+            max_delta=delta,
+        )
+    return CheckResult.ok(
+        name,
+        "merged 3-epoch window bit-exact vs from-scratch oracle "
+        "(%d packets, %d rotations)" % (packets, window.epochs_rotated),
+        packets=float(packets),
+        rotations=float(window.epochs_rotated),
+    )
+
+
+def check_nitro_window_envelope(
+    packets: int = 20_000,
+    seed: int = 0,
+    probability: float = 0.1,
+    width: int = 2048,
+    top_keys: int = 24,
+) -> CheckResult:
+    """Windowed Nitro estimates must honour Theorem 2 over the window."""
+    name = "windows.nitro_envelope"
+    epoch_packets = packets // 5
+    trace = _default_trace(packets, seed)
+    window = SlidingWindowMonitor(
+        _nitro_factory(seed, probability, width),
+        window_epochs=3,
+        epoch_packets=epoch_packets,
+    )
+    window.update_batch(trace.keys)
+
+    suffix = _window_suffix(trace.keys, 3, epoch_packets)
+    values, counts = np.unique(suffix, return_counts=True)
+    order = np.argsort(-counts)
+    truth = {
+        int(values[i]): int(counts[i]) for i in order[:top_keys]
+    }
+    l2_true = math.sqrt(float(np.sum(counts.astype(np.float64) ** 2)))
+    envelope = implied_epsilon(width, probability) * l2_true
+
+    errors = np.array(
+        [abs(window.query(key) - count) for key, count in truth.items()]
+    )
+    worst = float(np.max(errors))
+    within = float(np.mean(errors <= envelope))
+    if worst > ENVELOPE_SLACK * envelope or within < WITHIN_FRACTION:
+        return CheckResult.fail(
+            name,
+            "windowed Nitro: worst error %.1f vs window-suffix envelope "
+            "%.1f (eps*L2), only %.0f%% of top-%d keys within 1x"
+            % (worst, envelope, 100 * within, len(truth)),
+            worst_error=worst,
+            envelope=envelope,
+            within_fraction=within,
+        )
+    return CheckResult.ok(
+        name,
+        "windowed Nitro worst error %.1f within %.2fx of the "
+        "window-suffix eps*L2 envelope %.1f"
+        % (worst, worst / envelope, envelope),
+        worst_error=worst,
+        envelope=envelope,
+        within_fraction=within,
+    )
+
+
+def check_restore_byte_exact(packets: int = 12_000, seed: int = 0) -> CheckResult:
+    """Serialize mid-epoch, restore, continue: bytes must never diverge."""
+    name = "windows.restore_byte_exact"
+    epoch_packets = packets // 4
+    trace = _default_trace(packets, seed)
+    split = len(trace.keys) * 5 // 8  # mid-epoch, after >=1 rotation
+    window = SlidingWindowMonitor(
+        _nitro_factory(seed), window_epochs=3, epoch_packets=epoch_packets
+    )
+    window.update_batch(trace.keys[:split])
+
+    blob = serialize_monitor(window)
+    restored = deserialize_monitor(blob)
+    if serialize_monitor(restored) != blob:
+        return CheckResult.fail(
+            name,
+            "restored window re-serializes to different bytes than the "
+            "original mid-epoch snapshot",
+        )
+
+    remainder = trace.keys[split:]
+    window.update_batch(remainder)
+    restored.update_batch(remainder)
+    if serialize_monitor(restored) != serialize_monitor(window):
+        return CheckResult.fail(
+            name,
+            "restored window diverged from the uninterrupted window "
+            "after ingesting the same continuation packets",
+        )
+    probe = [int(k) for k in trace.keys[:8]]
+    if (
+        [window.query(k) for k in probe] != [restored.query(k) for k in probe]
+        or window.heavy_hitters(packets / 100) != restored.heavy_hitters(packets / 100)
+        or window.window_packets() != restored.window_packets()
+    ):
+        return CheckResult.fail(
+            name,
+            "restored window answers (query/heavy_hitters/window_packets) "
+            "differ from the uninterrupted window",
+        )
+    return CheckResult.ok(
+        name,
+        "mid-epoch window restore is byte-exact and stays byte-identical "
+        "through %d continuation packets" % len(remainder),
+        packets=float(packets),
+        rotations=float(window.epochs_rotated),
+    )
+
+
+def check_checkpoint_roundtrip(packets: int = 8_000, seed: int = 0) -> CheckResult:
+    """CheckpointManager must round-trip a window ring through disk."""
+    name = "windows.checkpoint_roundtrip"
+    epoch_packets = packets // 3
+    trace = _default_trace(packets, seed)
+    window = SlidingWindowMonitor(
+        _nitro_factory(seed), window_epochs=2, epoch_packets=epoch_packets
+    )
+    window.update_batch(trace.keys)
+
+    with tempfile.TemporaryDirectory(prefix="nitro-verify-") as directory:
+        manager = CheckpointManager(directory, keep=2)
+        manager.save(window, meta={"epoch": window.epochs_rotated})
+        checkpoint = manager.restore_latest()
+    if checkpoint is None:
+        return CheckResult.fail(name, "restore_latest found no checkpoint")
+    if serialize_monitor(checkpoint.monitor) != serialize_monitor(window):
+        return CheckResult.fail(
+            name,
+            "window restored through CheckpointManager differs from the "
+            "saved window (serialized bytes)",
+        )
+    return CheckResult.ok(
+        name,
+        "window ring survives save/restore_latest byte-exactly "
+        "(%d epochs in ring, meta epoch %d)"
+        % (len(checkpoint.monitor._ring), checkpoint.meta.get("epoch", -1)),
+        packets=float(packets),
+    )
+
+
+def check_single_epoch_window(seed: int = 0) -> CheckResult:
+    """W=1 must be exactly the in-progress epoch, no ghost ring members."""
+    name = "windows.single_epoch"
+    window = SlidingWindowMonitor(
+        _vanilla_factory(seed), window_epochs=1, epoch_packets=1_000
+    )
+    window.update_batch(np.full(2_500, 7, dtype=np.int64))
+    if len(window.window_monitors()) != 1:
+        return CheckResult.fail(
+            name,
+            "W=1 window reports %d member monitors, expected just the "
+            "current epoch" % len(window.window_monitors()),
+        )
+    if window.window_packets() != 500:
+        return CheckResult.fail(
+            name,
+            "W=1 window_packets() %d counts aged-out epochs, expected "
+            "500 (the in-progress epoch)" % window.window_packets(),
+        )
+    if window.query(7) != 500:
+        return CheckResult.fail(
+            name,
+            "W=1 query(7) = %g, expected exactly the in-progress epoch's "
+            "500" % window.query(7),
+        )
+    return CheckResult.ok(
+        name,
+        "W=1 window is exactly the in-progress epoch "
+        "(1 member, 500 packets after 2 rotations)",
+        rotations=float(window.epochs_rotated),
+    )
+
+
+def check_corruption_degradation(packets: int = 24_000, seed: int = 7) -> CheckResult:
+    """One zeroed ring epoch degrades; the same corruption unwindowed lies."""
+    name = "windows.corruption_degradation"
+    from repro.faults.chaos import ChaosRunner
+
+    result = ChaosRunner(packets=packets, seed=seed).window_corruption()
+    if not result.passed:
+        return CheckResult.fail(name, result.detail, **result.metrics)
+    return CheckResult.ok(name, result.detail, **result.metrics)
+
+
+def run_window_checks(quick: bool = False, seed: int = 0) -> List[CheckResult]:
+    """The full windowed-substrate suite (scaled down under ``quick``)."""
+    packets = 5_000 if quick else 10_000
+    envelope_packets = 10_000 if quick else 20_000
+    chaos_packets = 16_000 if quick else 24_000
+    return [
+        check_merged_vs_oracle(packets=packets, seed=seed),
+        check_nitro_window_envelope(packets=envelope_packets, seed=seed),
+        check_restore_byte_exact(packets=packets, seed=seed),
+        check_checkpoint_roundtrip(packets=packets, seed=seed),
+        check_single_epoch_window(seed=seed),
+        check_corruption_degradation(packets=chaos_packets, seed=seed + 7),
+    ]

@@ -206,6 +206,84 @@ class TestLifecycleGolden:
         ]
 
 
+class TestClockDiscipline:
+    """For-duration timing must ride a monotonic clock, never wall time."""
+
+    def test_default_clock_is_monotonic(self):
+        import time as _time
+
+        manager = AlertManager(Telemetry(), rules=[])
+        assert manager.clock is _time.monotonic
+        assert manager.wall_clock is _time.time
+
+    def test_injected_manual_clock_governs_both(self):
+        # A test-injected clock is both the timer and the timestamp
+        # source: event "time" fields equal the evaluation instants.
+        clock = ManualClock()
+        manager = AlertManager(Telemetry(), rules=[], clock=clock)
+        assert manager.wall_clock is clock
+
+    def test_backwards_wall_jump_does_not_mistransition(self):
+        # Regression: the state machine used to time for-duration with
+        # time.time(), so an NTP step backwards made "held for N
+        # seconds" unreachable (elapsed went negative).  With the
+        # monotonic/wall split, the pending alert must still promote on
+        # schedule while display timestamps follow the (jumped) wall.
+        telemetry = Telemetry()
+        # One reading per transition/notification: pending stamps at
+        # wall 1000, then the wall steps back to 400 before the firing
+        # transition and its notification.
+        wall_readings = iter([1_000.0, 400.0, 400.5, 401.0])
+        manager = AlertManager(
+            telemetry,
+            rules=[
+                ThresholdRule(
+                    "stuck_backlog",
+                    "queue_depth",
+                    threshold=10.0,
+                    for_seconds=2.0,
+                )
+            ],
+            repeat_interval=0.0,
+            clock=ManualClock(),
+            wall_clock=lambda: next(wall_readings),
+        )
+        telemetry.gauge("queue_depth", 12.0)
+        for _ in range(4):  # monotonic t = 0, 1, 2, 3
+            manager.evaluate()
+        moves = [(e["from"], e["to"]) for e in manager.transitions]
+        assert moves == [("inactive", "pending"), ("pending", "firing")]
+        # The firing transition landed after the wall clock jumped from
+        # 1000.5 back to 400: its display timestamp is the jumped wall
+        # reading, and the hold was still measured as 2 monotonic
+        # seconds.
+        assert manager.transitions[-1]["time"] == 400.0
+
+    def test_forwards_wall_jump_does_not_fire_early(self):
+        # The dual failure: a wall jump *forwards* used to promote a
+        # pending alert instantly, before the condition really held.
+        telemetry = Telemetry()
+        wall_readings = iter([1_000.0, 999_999.0, 999_999.5])
+        manager = AlertManager(
+            telemetry,
+            rules=[
+                ThresholdRule(
+                    "stuck_backlog",
+                    "queue_depth",
+                    threshold=10.0,
+                    for_seconds=5.0,
+                )
+            ],
+            clock=ManualClock(),
+            wall_clock=lambda: next(wall_readings),
+        )
+        telemetry.gauge("queue_depth", 12.0)
+        manager.evaluate()  # monotonic t=0: pending
+        manager.evaluate()  # monotonic t=1: only 1s held despite the wall leap
+        states = {state.state for state in manager._states.values()}
+        assert states == {"pending"}
+
+
 class TestHysteresisProperty:
     def test_band_oscillation_cannot_flap(self):
         """A series oscillating inside the band causes exactly one cycle."""

@@ -264,6 +264,80 @@ class TestDaemonCheckpoints:
             MeasurementDaemon(self._monitor(), checkpoint_interval=4)
 
 
+class TestWindowedDaemonRecovery:
+    """A checkpointed window ring must resume mid-epoch bit-exactly."""
+
+    def _batches(self, packets=6_144, batch_size=256, seed=17):
+        trace = caida_like(packets, n_flows=300, seed=seed)
+        return list(Replayer(trace, batch_size=batch_size).batches())
+
+    def _monitor(self, seed=17):
+        return NitroSketch(
+            CountSketch(3, 512, seed),
+            NitroConfig(probability=0.5, top_k=16, seed=seed),
+        )
+
+    def test_restore_mid_epoch_continues_bit_identical(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        batches = self._batches()
+        daemon = MeasurementDaemon(
+            self._monitor(), checkpoints=manager, window_epochs=3
+        )
+        assert daemon.windowed and daemon.window_epochs == 3
+        # Rotate every 4 batches, checkpoint 2 batches into the third
+        # epoch -- the ring holds completed epochs AND a half-full
+        # current epoch at save time.
+        for index, batch in enumerate(batches[:10]):
+            daemon.ingest(batch)
+            if (index + 1) % 4 == 0:
+                daemon.epoch_boundary()
+        checkpoint = daemon.checkpoint()
+        assert checkpoint is not None
+
+        recovered = MeasurementDaemon(
+            self._monitor(), checkpoints=manager, window_epochs=3
+        )
+        assert recovered.restore_latest()
+        assert recovered.windowed and recovered.window_epochs == 3
+        assert serialize_monitor(recovered.monitor) == serialize_monitor(
+            daemon.monitor
+        )
+
+        # Continue both sides over the same tail with the same rotation
+        # schedule: the restored ring must stay byte-identical to the
+        # uninterrupted one (recycled-epoch rotation included).
+        for index, batch in enumerate(batches[10:]):
+            daemon.ingest(batch)
+            recovered.ingest(batch)
+            if (10 + index + 1) % 4 == 0:
+                daemon.epoch_boundary()
+                recovered.epoch_boundary()
+        assert serialize_monitor(recovered.monitor) == serialize_monitor(
+            daemon.monitor
+        )
+        probe = [int(batches[0].keys[i]) for i in range(8)]
+        assert [recovered.monitor.query(k) for k in probe] == [
+            daemon.monitor.query(k) for k in probe
+        ]
+        assert recovered.monitor.heavy_hitters(100) == daemon.monitor.heavy_hitters(
+            100
+        )
+        assert recovered.monitor.window_packets() == daemon.monitor.window_packets()
+
+    def test_unwindowed_checkpoint_restores_unwindowed(self, tmp_path):
+        # A daemon restoring a plain (ringless) checkpoint must not
+        # invent a window around it.
+        manager = CheckpointManager(str(tmp_path))
+        plain = MeasurementDaemon(self._monitor(), checkpoints=manager)
+        for batch in self._batches()[:4]:
+            plain.ingest(batch)
+        plain.checkpoint()
+        recovered = MeasurementDaemon(self._monitor(), checkpoints=manager)
+        assert recovered.restore_latest()
+        assert not recovered.windowed
+        assert recovered.window_epochs == 0
+
+
 class TestControlPlaneResume:
     def test_epoch_numbering_resumes_after_restart(self, tmp_path):
         trace = caida_like(6_000, n_flows=300, seed=13)
@@ -360,6 +434,7 @@ class TestChaosScenarios:
             "truncate_fallback",
             "corrupt_fallback",
             "drop_exports",
+            "window_corruption",
         ]
         for result in results:
             assert result.passed, "%s: %s" % (result.name, result.detail)

@@ -88,6 +88,19 @@ class TestCleanTreePasses:
         assert "parallel.merge_vs_sequential" in out
         assert "FAIL" not in out
 
+    def test_windows_suite_registered(self):
+        from repro.verify import SUITES
+
+        assert "windows" in {name for name, _ in SUITES}
+
+    def test_cli_windows_suite(self, capsys):
+        """The windowed-substrate suite passes via the CLI."""
+        assert main(["selfcheck", "--quick", "--suite", "windows"]) == 0
+        out = capsys.readouterr().out
+        assert "windows.merged_vs_oracle" in out
+        assert "windows.corruption_degradation" in out
+        assert "FAIL" not in out
+
 
 # -- regression teeth: each fixed bug, reverted, must fail its check ------
 

@@ -88,10 +88,160 @@ class TestSlidingWindow:
         with pytest.raises(ValueError):
             SlidingWindowMonitor(vanilla_factory(), window_epochs=0, epoch_packets=10)
         with pytest.raises(ValueError):
-            SlidingWindowMonitor(vanilla_factory(), window_epochs=2, epoch_packets=0)
+            SlidingWindowMonitor(vanilla_factory(), window_epochs=2, epoch_packets=-1)
+
+    def test_manual_rotation_mode(self):
+        # epoch_packets=0 disables automatic rotation: the owner (the
+        # daemon) calls rotate() on its own epoch boundaries.
+        window = SlidingWindowMonitor(vanilla_factory(), window_epochs=2, epoch_packets=0)
+        window.update_batch(np.full(5000, 7, dtype=np.int64))
+        assert window.epochs_rotated == 0
+        window.rotate()
+        assert window.epochs_rotated == 1
+        assert window.window_packets() == 5000
+        window.rotate()
+        assert window.query(7) == pytest.approx(0, abs=50)
 
 
-class TestFrequencyMoments:
+class TestWindowSemantics:
+    def test_w1_heavy_hitters_only_from_current_epoch(self):
+        # A W=1 window is just the in-progress epoch: a flow that was
+        # heavy in an aged-out epoch must not resurface as a candidate.
+        window = SlidingWindowMonitor(
+            nitro_factory(probability=0.5), window_epochs=1, epoch_packets=4000
+        )
+        window.update_batch(np.full(4000, 11, dtype=np.int64))  # epoch 0, rotated
+        window.update_batch(
+            np.concatenate(
+                [np.full(2000, 22), zipf_keys(1500, 500, 1.0, seed=6)]
+            ).astype(np.int64)
+        )
+        hitters = dict(window.heavy_hitters(500))
+        assert 22 in hitters
+        assert 11 not in hitters
+
+    def test_adopt_epoch_mode(self):
+        factory = vanilla_factory()
+        window = SlidingWindowMonitor(factory, window_epochs=2, epoch_packets=0)
+        for epoch, key in enumerate((5, 6, 7)):
+            monitor = factory()
+            monitor.update_batch(np.full(1000, key, dtype=np.int64))
+            window.adopt_epoch(monitor, 1000)
+        # W=2 of adopted epochs: key 5 aged out, 6 and 7 survive.
+        assert window.window_packets() == 2000
+        assert window.epochs_rotated == 3
+        assert window.query(5) == pytest.approx(0, abs=1e-6)
+        assert window.query(6) == pytest.approx(1000, abs=1e-6)
+        assert window.query(7) == pytest.approx(1000, abs=1e-6)
+
+    def test_adopt_epoch_rejects_mixed_ingest(self):
+        window = SlidingWindowMonitor(vanilla_factory(), window_epochs=2, epoch_packets=0)
+        window.update(3)
+        with pytest.raises(ValueError):
+            window.adopt_epoch(vanilla_factory()(), 1)
+
+    def test_merged_view_is_cached_until_ingest(self):
+        window = SlidingWindowMonitor(vanilla_factory(), window_epochs=2, epoch_packets=100)
+        window.update_batch(np.full(150, 4, dtype=np.int64))
+        first = window.merged()
+        assert window.merged() is first  # cache hit, no rebuild
+        window.update(4)
+        assert window.merged() is not first  # ingest invalidated it
+        assert window.query(4) == pytest.approx(151, abs=1e-6)
+
+    def test_from_template_wraps_prebuilt_monitor(self):
+        monitor = vanilla_factory()()
+        window = SlidingWindowMonitor.from_template(monitor, window_epochs=3)
+        assert window.current_monitor() is monitor
+        assert window.epoch_packets == 0  # owner-driven rotation
+        window.update_batch(np.full(500, 9, dtype=np.int64))
+        window.rotate()
+        # The recycled/fresh epochs come from the template, so merging
+        # still works and the ring round-trips the serializer.
+        from repro.control import deserialize_monitor, serialize_monitor
+
+        blob = serialize_monitor(window)
+        restored = deserialize_monitor(blob)
+        assert serialize_monitor(restored) == blob
+        assert restored.query(9) == pytest.approx(500, abs=1e-6)
+
+    def test_export_window_metrics_gauges(self):
+        from repro.control import export_window_metrics
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        window = SlidingWindowMonitor(
+            nitro_factory(probability=0.5), window_epochs=2, epoch_packets=3000
+        )
+        window.update_batch(
+            np.concatenate(
+                [np.full(2000, 99), zipf_keys(2000, 400, 1.0, seed=8)]
+            ).astype(np.int64)
+        )
+        export_window_metrics(window, telemetry)
+        snap = telemetry.snapshot()["metrics"]
+
+        def gauge(name):
+            return snap[name]["samples"][0]["value"]
+
+        assert gauge("window_packets") == 4000.0
+        assert gauge("window_epochs_spanned") == len(window.window_monitors())
+        assert gauge("window_epochs_rotated") == window.epochs_rotated
+        assert gauge("window_memory_bytes") == window.memory_bytes()
+        assert gauge("window_heavy_hitters") >= 1.0  # key 99 at 1% share
+        assert gauge("window_entropy_bits") > 0.0
+
+
+class TestPipelineWiring:
+    def test_daemon_wraps_monitor_and_exports_window_gauges(self):
+        from repro.switchsim import MeasurementDaemon
+        from repro.telemetry import Telemetry
+        from repro.telemetry.anomaly import SketchAnomalyDetectors
+        from repro.traffic import caida_like
+        from repro.traffic.replay import Replayer
+
+        telemetry = Telemetry()
+        detectors = SketchAnomalyDetectors(telemetry=telemetry)
+        assert detectors.cumulative  # default
+        daemon = MeasurementDaemon(
+            nitro_factory()(),
+            telemetry=telemetry,
+            anomaly=detectors,
+            epoch_batches=2,
+            window_epochs=3,
+        )
+        assert isinstance(daemon.monitor, SlidingWindowMonitor)
+        assert daemon.windowed and daemon.window_epochs == 3
+        assert not detectors.cumulative  # forced off: one epoch per sketch
+        trace = caida_like(4096, n_flows=300, seed=9)
+        for batch in Replayer(trace, batch_size=512).batches():
+            daemon.ingest(batch)
+        assert daemon.monitor.epochs_rotated == 4
+        snap = telemetry.snapshot()["metrics"]
+        assert snap["window_packets"]["samples"][0]["value"] > 0
+        assert snap["anomaly_epochs_total"]["samples"][0]["value"] == 4.0
+
+    def test_daemon_rejects_negative_window(self):
+        from repro.switchsim import MeasurementDaemon
+
+        with pytest.raises(ValueError):
+            MeasurementDaemon(nitro_factory()(), window_epochs=-1)
+
+    def test_control_plane_window_spans_recent_epochs(self):
+        from repro.control import ControlPlane, HeavyHitterTask
+        from repro.traffic import caida_like
+
+        trace = caida_like(6000, n_flows=300, seed=12)
+        factory = lambda epoch: nitro_factory(seed=12, probability=0.5)()
+        plane = ControlPlane(
+            factory, [HeavyHitterTask()], score=False, window_epochs=2
+        )
+        reports = plane.run_epochs(trace, epoch_packets=2000)
+        assert len(reports) == 3
+        assert plane.window is not None
+        # Epoch-driven ring: the last two completed epochs, current empty.
+        assert plane.window.window_packets() == 4000
+        assert plane.window.epochs_rotated == 3
     def make_univmon(self):
         return UnivMon(levels=10, depth=5, widths=4096, k=300, seed=7)
 
