@@ -40,7 +40,14 @@ Subcommands:
   nested under the parent's epoch/CRC/merge spans;
 * ``profile`` -- ingest a trace with the per-stage latency profiler
   attached and report count/total/p50/p95/p99 per pipeline stage plus
-  flamegraph-compatible collapsed stacks (see docs/OBSERVABILITY.md).
+  flamegraph-compatible collapsed stacks (see docs/OBSERVABILITY.md);
+* ``serve`` -- the always-on monitoring service: an asyncio ingest
+  endpoint accepting framed key batches from concurrent clients into
+  per-tenant sketch namespaces (LRU + idle eviction under one memory
+  budget), a REST query plane (``/tenants/<id>/heavy_hitters``
+  ``/point`` ``/entropy`` ``/change`` ``/reports`` next to ``/metrics``
+  ``/health``), checkpoint-on-exit and restore-on-start (see
+  docs/SERVICE.md).
 
 Examples::
 
@@ -63,6 +70,9 @@ Examples::
     nitrosketch alerts --demo
     nitrosketch alerts --demo --serve --port 9109
     nitrosketch alerts --eval --packets 20000
+    nitrosketch serve --ingest-port 9200 --http-port 9109 --checkpoint-dir /var/lib/nitro
+    nitrosketch serve --demo --duration 5
+    nitrosketch selfcheck --suite service --quick
 """
 
 from __future__ import annotations
@@ -769,6 +779,75 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the always-on monitoring service until SIGINT (or --duration)."""
+    import time as _time
+
+    from repro.service import IngestClient, MonitoringService, ServiceConfig
+    from repro.telemetry import Telemetry
+
+    config = ServiceConfig(
+        depth=args.depth,
+        width=args.width,
+        probability=args.probability,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        queue_capacity=args.queue_capacity,
+        overflow=args.overflow,
+        window_epochs=args.window_epochs,
+        epoch_batches=args.epoch_batches,
+        audit=args.audit,
+        max_tenants=args.max_tenants,
+        memory_budget_bytes=int(args.memory_budget_mb * 1024 * 1024),
+        idle_seconds=args.idle_seconds,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    telemetry = Telemetry()
+    service = MonitoringService(
+        config,
+        telemetry=telemetry,
+        host=args.host,
+        ingest_port=args.ingest_port,
+        http_port=args.http_port,
+    ).start()
+    print("nitrosketch serve: ingest on %s:%d, http on %s:%d"
+          % (args.host, service.ingest_port, args.host, service.http_port))
+    print("  query:  curl http://%s:%d/tenants" % (args.host, service.http_port))
+    if config.checkpoint_dir:
+        print("  checkpoints: %s" % config.checkpoint_dir)
+    if args.demo:
+        # Seed two tenants with synthetic traffic so the query plane has
+        # something to show immediately.
+        import numpy as np
+
+        from repro.traffic.traces import caida_like
+
+        with IngestClient(args.host, service.ingest_port) as client:
+            for tenant, offset in (("demo_a", 0), ("demo_b", 1 << 32)):
+                trace = caida_like(20_000, n_flows=1000, seed=args.seed)
+                keys = trace.keys + offset
+                for start in range(0, len(keys), 2000):
+                    client.ingest(tenant, keys[start : start + 2000])
+                client.sync(tenant)
+        print("  demo tenants ingested: demo_a, demo_b")
+    try:
+        if args.duration > 0:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nnitrosketch serve: shutting down (drain + checkpoint)")
+    finally:
+        service.stop()
+    stats = service.tenants.stats()
+    print(
+        "nitrosketch serve: stopped cleanly (%d tenants, %d created, %d evicted)"
+        % (stats["tenants"], stats["created"], stats["evicted"])
+    )
+    return 0
+
+
 def cmd_experiment(args) -> int:
     module = importlib.import_module("repro.experiments.%s" % args.name)
     kwargs = {}
@@ -929,7 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument(
         "--suite",
         action="append",
-        choices=("differential", "statistical", "invariant", "parallel", "windows"),
+        choices=("differential", "statistical", "invariant", "parallel", "windows", "service"),
         default=None,
         help="run only the named suite (repeatable; default: all)",
     )
@@ -1020,6 +1099,44 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--port", type=int, default=9109)
     _add_monitor_arguments(profile)
     profile.set_defaults(func=cmd_profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="always-on monitoring service: async ingest + multi-tenant "
+        "query plane (see docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--ingest-port", type=int, default=9200,
+                       help="wire-ingest TCP port (0 = ephemeral)")
+    serve.add_argument("--http-port", type=int, default=9109,
+                       help="query/metrics HTTP port (0 = ephemeral)")
+    serve.add_argument("--depth", type=int, default=5)
+    serve.add_argument("--width", type=int, default=4096)
+    serve.add_argument("--probability", type=float, default=0.1)
+    serve.add_argument("--epsilon", type=float, default=0.5)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--queue-capacity", type=int, default=256,
+                       help="per-tenant ingest queue depth (batches)")
+    serve.add_argument("--overflow", choices=("wait", "drop"), default="wait",
+                       help="full-queue policy: backpressure or shed+count")
+    serve.add_argument("--window-epochs", type=int, default=0,
+                       help="measure over a sliding window of this many epochs")
+    serve.add_argument("--epoch-batches", type=int, default=16,
+                       help="batches per detector epoch (0 = no epochs)")
+    serve.add_argument("--audit", action="store_true",
+                       help="attach a per-tenant live guarantee auditor")
+    serve.add_argument("--max-tenants", type=int, default=64)
+    serve.add_argument("--memory-budget-mb", type=float, default=0.0,
+                       help="summed sketch-memory budget (0 = unbounded)")
+    serve.add_argument("--idle-seconds", type=float, default=0.0,
+                       help="evict tenants idle this long (0 = never)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="persist tenants here on eviction/shutdown")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="serve this many seconds then exit (0 = until SIGINT)")
+    serve.add_argument("--demo", action="store_true",
+                       help="pre-ingest two synthetic demo tenants")
+    serve.set_defaults(func=cmd_serve)
 
     alerts = sub.add_parser(
         "alerts",

@@ -358,6 +358,46 @@ class ControlPlane:
             )
         return epoch_report
 
+    def evaluate_online_epoch(self, monitor, epoch: int, packets: int) -> EpochReport:
+        """Run the task catalogue against a *live* monitor.
+
+        The always-on service closes epochs from wire ingest, where no
+        recorded :class:`~repro.traffic.replay.Trace` exists -- tasks
+        are evaluated from the sketch and the epoch's packet count
+        alone.  Exact-truth scoring and shadow auditing both require the
+        full epoch's packets, so a plane configured with either refuses
+        online evaluation rather than silently degrading (attach the
+        auditor to the ingesting daemon instead; it sees every packet).
+        """
+        if self.score:
+            raise RuntimeError(
+                "online epochs carry no exact truth; build the plane with score=False"
+            )
+        if self.auditor is not None:
+            raise RuntimeError(
+                "online epochs cannot shadow-audit the epoch trace; "
+                "attach the auditor to the ingesting daemon instead"
+            )
+        if packets < 0:
+            raise ValueError("packets must be >= 0, got %d" % packets)
+        telemetry = self.telemetry
+        epoch_report = EpochReport(epoch=epoch, packets=packets)
+        with telemetry.span("control_epoch_seconds"):
+            for task in self.tasks:
+                with telemetry.span("control_task_seconds", task=task.name):
+                    report = task.evaluate(monitor, packets)
+                epoch_report.reports[task.name] = report
+                telemetry.event(
+                    "control.task",
+                    task=task.name,
+                    epoch=epoch,
+                    detected=len(report.detected),
+                    estimate=report.estimate,
+                )
+        telemetry.count("control_epochs_total")
+        telemetry.event("control.epoch", epoch=epoch, packets=packets)
+        return epoch_report
+
     def _audit_epoch(self, monitor, epoch_trace: Trace) -> None:
         """Shadow-audit one epoch's monitor against exact epoch truth."""
         auditor = self.auditor

@@ -73,6 +73,12 @@ ALERT_OVERHEAD_CEILING = 1.10
 #: at most this factor versus updating the wrapped sketch directly.
 WINDOW_OVERHEAD_CEILING = 1.15
 
+#: Serving ingest over the wire -- client-side frame encode, loopback
+#: TCP, the asyncio reader, header/key decode, per-tenant queue and the
+#: drainer coroutine -- may cost at most this factor versus the same
+#: batches ingested in-process through ``MeasurementDaemon.ingest``.
+SERVICE_OVERHEAD_CEILING = 1.15
+
 
 # -- seed (pre-kernel) reference implementations ---------------------------
 
@@ -563,6 +569,89 @@ def window_overhead(
         "bare_seconds": bare_seconds,
         "windowed_seconds": windowed_seconds,
         "ratio": windowed_seconds / bare_seconds,
+    }
+
+
+def service_overhead(
+    scale: float = 1.0,
+    seed: int = 0,
+    repeats: int = 3,
+    chunk: int = 32768,
+) -> Dict[str, float]:
+    """Cost of served ingest (wire + asyncio) vs direct in-process ingest.
+
+    Feeds the same chunked CAIDA-like stream twice into bit-identical
+    tenant monitors (same :meth:`ServiceConfig.build_monitor` seeds):
+    once through a live :class:`~repro.service.server.MonitoringService`
+    -- :class:`~repro.service.client.IngestClient` frames over loopback
+    TCP, the asyncio reader, the tenant queue and the drainer coroutine,
+    with a ``sync`` barrier closing each pass -- and once through
+    ``MeasurementDaemon.ingest`` in the benchmark process (batch
+    construction included: that is what an embedding caller pays).  The
+    ratio is gated at :data:`SERVICE_OVERHEAD_CEILING` by
+    ``scripts/check_perf.py``; it is what bounds the "running the
+    always-on service costs little over embedding the library" claim
+    (docs/SERVICE.md).
+
+    The queue is sized to hold a whole pass so ``overflow="wait"`` never
+    parks the client: the gate measures serving overhead, not
+    backpressure stalls (the chaos suite covers those).
+    """
+    from repro.service import records
+    from repro.service.client import IngestClient
+    from repro.service.server import MonitoringService
+    from repro.service.tenants import ServiceConfig
+
+    from repro.switchsim.daemon import MeasurementDaemon
+
+    n = max(100_000, int(400_000 * scale))
+    trace = caida_like(n, n_flows=max(2_000, n // 5), seed=seed + 1)
+    keys = trace.keys
+    chunks = [keys[start : start + chunk] for start in range(0, len(keys), chunk)]
+    tenant = "bench"
+
+    config = ServiceConfig(
+        seed=seed + 171,
+        queue_capacity=max(8, 2 * len(chunks)),
+        overflow="wait",
+        epoch_batches=0,
+    )
+    direct = MeasurementDaemon(config.build_monitor(tenant))
+
+    def direct_pass():
+        for piece in chunks:
+            direct.ingest(records.batch_from_keys(piece))
+
+    service = MonitoringService(config, http=False).start()
+    client = IngestClient("127.0.0.1", service.ingest_port)
+
+    def served_pass():
+        for piece in chunks:
+            client.ingest(tenant, piece)
+        client.sync(tenant)
+
+    try:
+        # Warm-up, then interleaved best-of rounds so machine-load drift
+        # moves both sides alike (same rationale as tracing_overhead).
+        # The warm-up also converges both (seed-identical) AlwaysCorrect
+        # monitors, so measured passes run the sampled steady state.
+        direct_pass()
+        served_pass()
+        direct_seconds = float("inf")
+        served_seconds = float("inf")
+        for _ in range(max(repeats, 7)):
+            direct_seconds = min(direct_seconds, _best_time(direct_pass, 1))
+            served_seconds = min(served_seconds, _best_time(served_pass, 1))
+    finally:
+        client.bye()
+        client.close()
+        service.stop()
+    return {
+        "packets": float(n),
+        "chunk": float(chunk),
+        "direct_seconds": direct_seconds,
+        "served_seconds": served_seconds,
+        "ratio": served_seconds / direct_seconds,
     }
 
 

@@ -25,7 +25,18 @@ fault class, drives recovery through the real
   bound against the *uncorrupted* epochs' ground truth (blast radius =
   one epoch), while the identical corruption applied to an unwindowed
   monitor -- whose single sketch holds every epoch's mass -- must trip
-  the violation.
+  the violation;
+* ``client_flood`` -- many concurrent wire clients hammer one tenant of
+  a live :class:`~repro.service.MonitoringService` whose queue is tiny
+  and whose overflow policy is ``drop``: the service must stay
+  responsive throughout and account for every offered frame as exactly
+  accepted-or-dropped (``packets_ingested == accepted * frame_size``,
+  nothing silently lost);
+* ``slow_consumer`` -- one producer outruns a tiny queue under the
+  ``wait`` policy: backpressure must park the reader instead of
+  shedding, so after the sync barrier *zero* batches were dropped and
+  the tenant's sketch is byte-identical to an in-process replay of the
+  same frames -- full fidelity, just slower.
 """
 
 from __future__ import annotations
@@ -387,6 +398,155 @@ class ChaosRunner:
             },
         )
 
+    def client_flood(self) -> ChaosResult:
+        """Concurrent clients flood a drop-policy tenant: survive + account.
+
+        The interesting failure modes are silent loss (a frame neither
+        ingested nor counted as dropped), corrupted accounting under
+        concurrency, and the service wedging.  Drops themselves are
+        *legal* here -- the scenario records how many the flood forced.
+        """
+        name = "client_flood"
+        import threading
+
+        from repro.service import IngestClient, MonitoringService, ServiceConfig
+
+        frame_keys = 1000
+        clients = 6
+        frames_per_client = max(len(self.trace) // (clients * frame_keys), 4)
+        config = ServiceConfig(
+            seed=self.seed, queue_capacity=2, overflow="drop", epoch_batches=0
+        )
+        service = MonitoringService(config, http=False).start()
+        errors: List[str] = []
+        try:
+            def flood(index: int) -> None:
+                keys = self.trace.keys
+                try:
+                    with IngestClient("127.0.0.1", service.ingest_port) as client:
+                        for frame in range(frames_per_client):
+                            start = (
+                                (index * frames_per_client + frame) * frame_keys
+                            ) % max(len(keys) - frame_keys, 1)
+                            client.ingest(
+                                "flooded", keys[start : start + frame_keys]
+                            )
+                        # Responsiveness probe from inside the flood.
+                        client.stats("flooded")
+                except Exception as exc:
+                    errors.append("client %d: %s" % (index, exc))
+
+            threads = [
+                threading.Thread(target=flood, args=(index,))
+                for index in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            if errors or any(thread.is_alive() for thread in threads):
+                return ChaosResult(
+                    name, False, "flood clients failed: %s" % (errors or "hung")
+                )
+            # Let the drainer finish, then take the books.
+            with IngestClient("127.0.0.1", service.ingest_port) as client:
+                stats = client.sync("flooded")
+            offered = clients * frames_per_client
+            accepted = stats["batches_accepted"]
+            dropped = stats["batches_dropped"]
+            if accepted + dropped != offered:
+                return ChaosResult(
+                    name,
+                    False,
+                    "frames leaked: %d accepted + %d dropped != %d offered"
+                    % (accepted, dropped, offered),
+                )
+            if stats["packets_ingested"] != accepted * frame_keys:
+                return ChaosResult(
+                    name,
+                    False,
+                    "accepted frames lost packets: %d ingested != %d * %d"
+                    % (stats["packets_ingested"], accepted, frame_keys),
+                )
+            return ChaosResult(
+                name,
+                True,
+                "%d clients x %d frames into a depth-%d queue: %d accepted, "
+                "%d dropped-and-counted, zero silent loss, service responsive"
+                % (clients, frames_per_client, config.queue_capacity,
+                   accepted, dropped),
+                metrics={
+                    "offered": float(offered),
+                    "accepted": float(accepted),
+                    "dropped": float(dropped),
+                },
+            )
+        finally:
+            service.stop()
+
+    def slow_consumer(self) -> ChaosResult:
+        """A producer outruns the drain under ``wait``: no loss, ever.
+
+        Backpressure must hold the reader instead of shedding: every
+        frame eventually lands, and the tenant's sketch ends
+        byte-identical to an in-process replay of the same frames.
+        """
+        name = "slow_consumer"
+        from repro.service import IngestClient, MonitoringService, ServiceConfig
+        from repro.service.records import batch_from_keys
+
+        frame_keys = 500
+        keys = self.trace.keys[: min(len(self.trace), 30_000)]
+        frames = [
+            keys[start : start + frame_keys]
+            for start in range(0, len(keys), frame_keys)
+        ]
+        config = ServiceConfig(
+            seed=self.seed, queue_capacity=2, overflow="wait", epoch_batches=0
+        )
+        service = MonitoringService(config, http=False).start()
+        try:
+            with IngestClient("127.0.0.1", service.ingest_port) as client:
+                for frame in frames:
+                    client.ingest("steady", frame)
+                stats = client.sync("steady")
+            if stats["batches_dropped"]:
+                return ChaosResult(
+                    name,
+                    False,
+                    "wait policy shed %d batches" % stats["batches_dropped"],
+                )
+            if stats["packets_ingested"] != len(keys):
+                return ChaosResult(
+                    name,
+                    False,
+                    "lost packets under backpressure: %d != %d"
+                    % (stats["packets_ingested"], len(keys)),
+                )
+            live = serialize_monitor(
+                service.tenants.get("steady").daemon.monitor
+            )
+            reference = MeasurementDaemon(config.build_monitor("steady"))
+            for frame in frames:
+                reference.ingest(batch_from_keys(frame))
+            if live != serialize_monitor(reference.monitor):
+                return ChaosResult(
+                    name, False, "sketch diverged from in-process replay"
+                )
+            return ChaosResult(
+                name,
+                True,
+                "%d frames through a depth-%d queue under backpressure: "
+                "zero drops, byte-identical to in-process replay (%d packets)"
+                % (len(frames), config.queue_capacity, len(keys)),
+                metrics={
+                    "frames": float(len(frames)),
+                    "packets": float(len(keys)),
+                },
+            )
+        finally:
+            service.stop()
+
     # -- driver ---------------------------------------------------------------
 
     def run_all(self) -> List[ChaosResult]:
@@ -396,6 +556,8 @@ class ChaosRunner:
             self.corrupt_fallback(),
             self.drop_exports(),
             self.window_corruption(),
+            self.client_flood(),
+            self.slow_consumer(),
         ]
 
 

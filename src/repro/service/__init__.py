@@ -1,0 +1,58 @@
+"""The always-on monitoring service (ROADMAP item 2).
+
+Turns the offline trace-replay pipeline into a long-running service:
+
+* :mod:`repro.service.records` -- the framed binary ingest wire
+  protocol (JSON header line + packed int64 keys);
+* :mod:`repro.service.tenants` -- per-tenant sketch namespaces under
+  one memory budget: seed-derived isolation, LRU/idle eviction,
+  checkpoint-on-evict, byte-exact restore;
+* :mod:`repro.service.server` -- :class:`MonitoringService`: the
+  asyncio ingest endpoint with real backpressure, the drainer, and the
+  graceful drain/checkpoint/restore lifecycle;
+* :mod:`repro.service.query` -- the REST query plane
+  (``/tenants/<id>/heavy_hitters`` ``/point`` ``/entropy`` ``/change``
+  ``/reports``) mounted on the telemetry HTTP server;
+* :mod:`repro.service.client` -- the blocking wire client the CLI, CI
+  and perf gate drive the server with.
+
+See ``docs/SERVICE.md`` for the operational story.
+"""
+
+from repro.service.client import IngestClient
+from repro.service.query import QueryRoutes
+from repro.service.records import (
+    MAX_FRAME_KEYS,
+    MAX_HEADER_BYTES,
+    batch_from_keys,
+    decode_header,
+    decode_keys,
+    encode_frame,
+    encode_keys,
+    validate_tenant,
+)
+from repro.service.server import MonitoringService
+from repro.service.tenants import (
+    ServiceConfig,
+    TenantManager,
+    TenantState,
+    tenant_stream_id,
+)
+
+__all__ = [
+    "IngestClient",
+    "MAX_FRAME_KEYS",
+    "MAX_HEADER_BYTES",
+    "MonitoringService",
+    "QueryRoutes",
+    "ServiceConfig",
+    "TenantManager",
+    "TenantState",
+    "batch_from_keys",
+    "decode_header",
+    "decode_keys",
+    "encode_frame",
+    "encode_keys",
+    "tenant_stream_id",
+    "validate_tenant",
+]

@@ -23,7 +23,8 @@ from __future__ import annotations
 import enum
 import inspect
 import time
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional
 
 from repro.metrics.opcount import OpCounter
 from repro.telemetry import NULL_TELEMETRY
@@ -156,7 +157,9 @@ class MeasurementDaemon:
         if queue_capacity < 0:
             raise ValueError("queue_capacity must be >= 0, got %d" % queue_capacity)
         self.queue_capacity = queue_capacity
-        self._queue: list = []
+        # A deque, not a list: drain pops from the head, and list.pop(0)
+        # is O(n) -- a 10k-batch backlog cost O(n^2) element moves.
+        self._queue: Deque[Batch] = deque()
         self.batches_dropped = 0
         self.packets_offered = 0
         if checkpoint_interval < 0:
@@ -202,8 +205,11 @@ class MeasurementDaemon:
         """Feed one batch to the monitor."""
         self.packets_offered += len(batch)
         telemetry = self.telemetry
-        telemetry.count("daemon_batches_total", daemon=self.name)
-        telemetry.count("daemon_packets_total", len(batch), daemon=self.name)
+        with telemetry.atomic():
+            # Sibling counters: a scrape must never see one incremented
+            # without the other (batch/packet ratios feed health rules).
+            telemetry.count("daemon_batches_total", daemon=self.name)
+            telemetry.count("daemon_packets_total", len(batch), daemon=self.name)
         with telemetry.span("daemon_ingest_seconds", daemon=self.name):
             self._ingest_inner(batch)
         if self.auditor is not None:
@@ -329,18 +335,25 @@ class MeasurementDaemon:
         accepted = len(self._queue) < self.queue_capacity
         if accepted:
             self._queue.append(batch)
+            self.telemetry.gauge(
+                "daemon_queue_depth", len(self._queue), daemon=self.name
+            )
         else:
             self.batches_dropped += 1
-        self.telemetry.gauge(
-            "daemon_queue_depth", len(self._queue), daemon=self.name
-        )
+            with self.telemetry.atomic():
+                self.telemetry.count(
+                    "daemon_batches_dropped_total", daemon=self.name
+                )
+                self.telemetry.gauge(
+                    "daemon_queue_depth", len(self._queue), daemon=self.name
+                )
         return accepted
 
     def drain(self, max_batches: Optional[int] = None) -> int:
         """Ingest up to ``max_batches`` queued batches; returns how many."""
         drained = 0
         while self._queue and (max_batches is None or drained < max_batches):
-            self.ingest(self._queue.pop(0))
+            self.ingest(self._queue.popleft())
             drained += 1
         if self.queue_capacity > 0:
             self.telemetry.gauge(

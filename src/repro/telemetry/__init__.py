@@ -186,6 +186,22 @@ METRIC_HELP: Dict[str, str] = {
     "window_memory_bytes": "Counter bytes held across every epoch sketch in the window.",
     "window_heavy_hitters": "Flows above the heavy-hitter share of the window's packets.",
     "window_entropy_bits": "Estimated flow-size entropy over the sliding window (bits).",
+    "daemon_batches_dropped_total": "Batches rejected by the daemon's bounded ingest queue.",
+    "service_tenants_active": "Tenants currently resident in the monitoring service.",
+    "service_tenants_created_total": "Tenant namespaces created by the monitoring service.",
+    "service_tenants_evicted_total": "Tenants evicted from the service, by reason.",
+    "service_tenants_restored_total": "Tenants restored from checkpoint by the service.",
+    "service_memory_bytes": "Estimated sketch bytes resident across all tenants.",
+    "service_connections_total": "Ingest connections accepted by the service.",
+    "service_connections_active": "Ingest connections currently open.",
+    "service_frames_total": "Ingest wire frames processed, by outcome.",
+    "service_ingest_packets_total": "Packets accepted over the wire, by tenant.",
+    "service_ingest_batches_total": "Batches accepted over the wire, by tenant.",
+    "service_dropped_batches_total": "Batches dropped under backpressure, by tenant.",
+    "service_queries_total": "Query-plane HTTP requests, by endpoint.",
+    "service_query_seconds": "Wall-clock time per query-plane request.",
+    "service_queue_depth": "Queued batches awaiting drain, by tenant.",
+    "service_tenant_memory_bytes": "Estimated sketch bytes resident, by tenant.",
 }
 
 
@@ -237,17 +253,19 @@ class Telemetry:
 
     def count(self, name: str, value: float = 1.0, **labels) -> None:
         """Increment counter ``name`` (creating it on first use)."""
-        family = self.registry.counter(
-            name, METRIC_HELP.get(name, ""), tuple(sorted(labels))
-        )
-        (family.labels(**labels) if labels else family.labels()).inc(value)
+        with self.registry.lock:
+            family = self.registry.counter(
+                name, METRIC_HELP.get(name, ""), tuple(sorted(labels))
+            )
+            (family.labels(**labels) if labels else family.labels()).inc(value)
 
     def gauge(self, name: str, value: float, **labels) -> None:
         """Set gauge ``name`` to ``value``."""
-        family = self.registry.gauge(
-            name, METRIC_HELP.get(name, ""), tuple(sorted(labels))
-        )
-        (family.labels(**labels) if labels else family.labels()).set(value)
+        with self.registry.lock:
+            family = self.registry.gauge(
+                name, METRIC_HELP.get(name, ""), tuple(sorted(labels))
+            )
+            (family.labels(**labels) if labels else family.labels()).set(value)
 
     def observe(
         self,
@@ -257,10 +275,23 @@ class Telemetry:
         **labels,
     ) -> None:
         """Record ``value`` into histogram ``name`` (buckets fixed at creation)."""
-        family = self.registry.histogram(
-            name, METRIC_HELP.get(name, ""), tuple(sorted(labels)), buckets
-        )
-        (family.labels(**labels) if labels else family.labels()).observe(value)
+        with self.registry.lock:
+            family = self.registry.histogram(
+                name, METRIC_HELP.get(name, ""), tuple(sorted(labels)), buckets
+            )
+            (family.labels(**labels) if labels else family.labels()).observe(value)
+
+    def atomic(self):
+        """Context manager grouping several metric writes into one
+        atomic unit with respect to exposition.
+
+        A scrape (``/metrics`` or ``/json``) renders under the registry
+        lock, so sibling updates wrapped in ``with telemetry.atomic():``
+        are observed all-or-nothing -- e.g. the daemon's
+        ``daemon_batches_total`` / ``daemon_packets_total`` pair can
+        never be seen with one incremented and the other not.
+        """
+        return self.registry.lock
 
     def span(self, name: str, **labels) -> _Span:
         """Context manager timing a block into histogram ``name``."""
@@ -360,6 +391,9 @@ class NullTelemetry:
         pass
 
     def span(self, name: str, **labels) -> _NullSpan:
+        return _NULL_SPAN
+
+    def atomic(self) -> _NullSpan:
         return _NULL_SPAN
 
     def event(self, name: str, **fields) -> None:

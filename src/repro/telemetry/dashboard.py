@@ -211,6 +211,50 @@ def render_dashboard(
                 )
             )
 
+    # -- tenants panel (always-on monitoring service) --------------------
+    tenants_active = _value(snap, "service_tenants_active")
+    if tenants_active is not None:
+        connections = _value(snap, "service_connections_active")
+        memory = _value(snap, "service_memory_bytes")
+        evicted = _value(snap, "service_tenants_evicted_total")
+        lines.append(
+            "tenants     %d resident  %s conn  %s  evicted %s"
+            % (
+                int(tenants_active),
+                "-" if connections is None else "%d" % connections,
+                "-" if memory is None else _format_count(memory) + "B",
+                "-" if evicted is None else "%d" % evicted,
+            )
+        )
+        tenant_rows: Dict[str, Dict[str, float]] = {}
+
+        def _per_tenant(metric: str, key: str) -> None:
+            for labels, sample in _samples(snap, metric):
+                tenant = labels.get("tenant")
+                if tenant is not None and "value" in sample:
+                    tenant_rows.setdefault(tenant, {})[key] = _to_float(
+                        sample["value"]
+                    )
+
+        _per_tenant("service_ingest_packets_total", "packets")
+        _per_tenant("service_queue_depth", "queue")
+        _per_tenant("service_tenant_memory_bytes", "memory")
+        _per_tenant("service_dropped_batches_total", "dropped")
+        for tenant in sorted(
+            tenant_rows, key=lambda t: -tenant_rows[t].get("packets", 0.0)
+        )[:8]:
+            row = tenant_rows[tenant]
+            lines.append(
+                "  %-20s pkts %-8s queue %-4d mem %-8s dropped %d"
+                % (
+                    tenant,
+                    _format_count(row.get("packets", 0.0)),
+                    int(row.get("queue", 0)),
+                    _format_count(row.get("memory", 0.0)) + "B",
+                    int(row.get("dropped", 0)),
+                )
+            )
+
     # -- sliding window (window_* gauges from export_window_metrics) -----
     window_packets = _value(snap, "window_packets")
     if window_packets is not None:

@@ -75,7 +75,19 @@ def _format_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = Non
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """Render every family in the registry as Prometheus exposition text."""
+    """Render every family in the registry as Prometheus exposition text.
+
+    The whole render happens under the registry lock so a scrape during
+    live ingest sees a consistent point-in-time view -- sibling metrics
+    updated inside one :meth:`~repro.telemetry.Telemetry.atomic` block
+    are observed all-or-nothing, and family/child dicts cannot change
+    size mid-iteration.
+    """
+    with registry.lock:
+        return _render_prometheus_locked(registry)
+
+
+def _render_prometheus_locked(registry: MetricsRegistry) -> str:
     lines = []
     for family in registry:
         lines.append("# HELP %s %s" % (family.name, _escape_help(family.help or family.name)))
@@ -126,7 +138,17 @@ def _json_value(value: float):
 
 
 def snapshot(registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> Dict:
-    """A JSON-able snapshot of every metric (and the tracer's state)."""
+    """A JSON-able snapshot of every metric (and the tracer's state).
+
+    Taken under the registry lock: concurrent writers either land wholly
+    before or wholly after the snapshot, never halfway through a
+    multi-metric update.
+    """
+    with registry.lock:
+        return _snapshot_locked(registry, tracer)
+
+
+def _snapshot_locked(registry: MetricsRegistry, tracer: Optional[Tracer]) -> Dict:
     metrics = {}
     for family in registry:
         samples = []
@@ -177,6 +199,12 @@ class TelemetryServer:
     Pass an :class:`~repro.telemetry.alerts.AlertManager` as ``alerts``
     to serve ``/alerts`` (current states, recent transitions, sink
     accounting) and ``/rules`` (the declarative rule catalogue).
+
+    ``routes`` extends the server with application endpoints: a callable
+    ``routes(path, query) -> Optional[(status, content_type, body)]``
+    consulted after the built-in paths and before the 404 -- the
+    monitoring service mounts its ``/tenants/...`` query API this way
+    without subclassing the handler.
     """
 
     def __init__(
@@ -187,11 +215,13 @@ class TelemetryServer:
         health=None,
         history=None,
         alerts=None,
+        routes=None,
     ) -> None:
         self.telemetry = telemetry
         self.health = health
         self.history = history
         self.alerts = alerts
+        self.routes = routes
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -235,7 +265,21 @@ class TelemetryServer:
                     body = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
                     self._reply(status, "application/json", body)
                 else:
-                    self._reply(404, "text/plain", "not found: %s\n" % path)
+                    handled = None
+                    if outer.routes is not None:
+                        try:
+                            handled = outer.routes(path, query)
+                        except Exception as exc:  # surface, don't kill the thread
+                            handled = (
+                                500,
+                                "application/json",
+                                json.dumps({"error": str(exc)}) + "\n",
+                            )
+                    if handled is not None:
+                        status, content_type, body = handled
+                        self._reply(status, content_type, body)
+                    else:
+                        self._reply(404, "text/plain", "not found: %s\n" % path)
 
             def _reply(self, status: int, content_type: str, body: str) -> None:
                 data = body.encode("utf-8")
@@ -280,12 +324,19 @@ class TelemetryServer:
         With ``install_sigint_handler``, SIGINT triggers a graceful
         shutdown (the serve loop exits, the socket closes) instead of
         unwinding through ``KeyboardInterrupt`` mid-request; the
-        previous handler is restored before returning.
+        previous handler is restored before returning.  ``signal.signal``
+        is only legal on the main thread, so off the main thread (the
+        monitoring service embeds this loop in a worker) no handler is
+        installed and a ``KeyboardInterrupt`` that reaches the loop is
+        caught and turned into a clean close instead.
         """
         if self._closed:
             raise RuntimeError("server already closed")
         previous_handler = None
-        if install_sigint_handler:
+        if (
+            install_sigint_handler
+            and threading.current_thread() is threading.main_thread()
+        ):
             def _on_sigint(signum, frame):
                 # shutdown() blocks until the poll loop acknowledges, and
                 # this handler runs *on* the serving thread -- request it
@@ -295,10 +346,7 @@ class TelemetryServer:
                     target=self._server.shutdown, name="telemetry-shutdown", daemon=True
                 ).start()
 
-            try:
-                previous_handler = signal.signal(signal.SIGINT, _on_sigint)
-            except ValueError:  # not the main thread
-                previous_handler = None
+            previous_handler = signal.signal(signal.SIGINT, _on_sigint)
         self._serving = True
         try:
             self._server.serve_forever()

@@ -49,3 +49,31 @@ def record_parallel_run(telemetry, result) -> None:
         aggregate_cpu_mpps=result.aggregate_cpu_mpps,
         start_method=result.start_method,
     )
+
+
+def record_service_state(telemetry, service) -> None:
+    """Fan one :class:`~repro.service.MonitoringService`'s tenant table
+    into the sink.
+
+    Point-in-time gauges only (the wire path owns the counters): the
+    tenant-table totals plus per-tenant queue depth and sketch memory,
+    labeled ``tenant=<id>`` exactly like the per-worker parallel gauges
+    -- the ``nitrosketch top`` tenants panel and the Prometheus scrape
+    read the same families.
+    """
+    stats = service.tenants.stats()
+    with telemetry.atomic():
+        telemetry.gauge("service_tenants_active", stats["tenants"])
+        telemetry.gauge("service_memory_bytes", stats["memory_bytes"])
+        telemetry.gauge(
+            "service_connections_active", service.connections_active
+        )
+    for state in service.tenants.states():
+        with state.lock:
+            depth = state.daemon.queue_depth
+            memory = state.daemon.memory_bytes()
+        with telemetry.atomic():
+            telemetry.gauge("service_queue_depth", depth, tenant=state.name)
+            telemetry.gauge(
+                "service_tenant_memory_bytes", memory, tenant=state.name
+            )

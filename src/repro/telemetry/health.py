@@ -245,6 +245,44 @@ class QueueDepthRule(HealthRule):
         return self._ok("queue depth %d" % int(depth), depth)
 
 
+class QueueSaturationRule(HealthRule):
+    """The service must not be shedding ingest under backpressure.
+
+    Watches the service-wide drop accounting: batches rejected by tenant
+    queues (``daemon_batches_dropped_total`` summed over daemons, plus
+    the wire-side ``service_dropped_batches_total``).  Any drop warns --
+    drops are *legal* under the ``overflow="drop"`` policy but always
+    mean a consumer fell behind its producers; a drop fraction above
+    ``fail_fraction`` of accepted batches fails.
+    """
+
+    name = "queue_saturation"
+
+    def __init__(self, fail_fraction: float = 0.25) -> None:
+        if not 0 < fail_fraction <= 1:
+            raise ValueError("fail_fraction must be in (0, 1]")
+        self.fail_fraction = fail_fraction
+
+    def evaluate(self, snap: Dict) -> RuleResult:
+        dropped = sample_value(snap, "daemon_batches_dropped_total") or 0.0
+        wire_dropped = sample_value(snap, "service_dropped_batches_total") or 0.0
+        dropped = max(dropped, wire_dropped)
+        if dropped <= 0:
+            return self._ok("no dropped batches", 0.0)
+        accepted = sample_value(snap, "service_ingest_batches_total")
+        if accepted is None:
+            accepted = sample_value(snap, "daemon_batches_total") or 0.0
+        total = accepted + dropped
+        fraction = dropped / total if total > 0 else 1.0
+        if fraction >= self.fail_fraction:
+            return self._fail(
+                "dropping %.0f%% of offered batches" % (fraction * 100), fraction
+            )
+        return self._warn(
+            "%d batches dropped (%.1f%%)" % (int(dropped), fraction * 100), fraction
+        )
+
+
 class CheckpointStalenessRule(HealthRule):
     """A checkpointing deployment must keep its checkpoints fresh.
 

@@ -218,7 +218,23 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: "OrderedDict[str, MetricFamily]" = OrderedDict()
-        self._lock = threading.Lock()
+        # Re-entrant: a writer holding the lock for a multi-metric
+        # atomic block still creates families (which re-acquires), and
+        # exposition takes it to render a consistent view.
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The registry-wide mutation/exposition lock.
+
+        Writers (``Telemetry.count``/``gauge``/``observe``) mutate
+        children under it, multi-metric updates group under it via
+        :meth:`Telemetry.atomic`, and :func:`~repro.telemetry.exposition.snapshot`
+        / :func:`~repro.telemetry.exposition.render_prometheus` hold it
+        for the duration of a render -- a scrape can no longer observe
+        one counter of a sibling pair updated and the other not.
+        """
+        return self._lock
 
     def _get_or_create(
         self,

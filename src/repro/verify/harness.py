@@ -16,6 +16,7 @@ from repro.verify.differential import run_differential_checks
 from repro.verify.invariants import run_invariant_checks
 from repro.verify.parallel import run_parallel_checks
 from repro.verify.result import CheckResult, VerifyReport
+from repro.verify.service import run_service_checks
 from repro.verify.statistical import run_statistical_checks
 from repro.verify.windows import run_window_checks
 
@@ -26,6 +27,7 @@ SUITES: List[Tuple[str, Callable[..., List[CheckResult]]]] = [
     ("invariant", run_invariant_checks),
     ("parallel", run_parallel_checks),
     ("windows", run_window_checks),
+    ("service", run_service_checks),
 ]
 
 

@@ -435,6 +435,8 @@ class TestChaosScenarios:
             "corrupt_fallback",
             "drop_exports",
             "window_corruption",
+            "client_flood",
+            "slow_consumer",
         ]
         for result in results:
             assert result.passed, "%s: %s" % (result.name, result.detail)

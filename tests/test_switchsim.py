@@ -279,6 +279,78 @@ class TestDaemonAndSimulator:
         assert daemon.ops.packets == 0
 
 
+class _CountingMonitor:
+    """A free monitor so queue-drain timing measures the queue alone."""
+
+    def __init__(self):
+        self.packets = 0
+
+    def update_batch(self, keys):
+        self.packets += len(keys)
+
+
+class TestDaemonQueue:
+    def _batch(self, start, n=10):
+        keys = np.arange(start, start + n)
+        return Batch(
+            keys=keys,
+            sizes=np.full(n, 64, dtype=np.int32),
+            timestamps=np.zeros(n),
+        )
+
+    def test_drain_preserves_fifo_order_and_drop_accounting(self):
+        """Regression for the deque switch: drain order, drop counting
+        and queue invariants are exactly what the list gave."""
+        monitor = _CountingMonitor()
+        seen = []
+        original = monitor.update_batch
+        monitor.update_batch = lambda keys: (seen.append(int(keys[0])), original(keys))
+        daemon = MeasurementDaemon(monitor, queue_capacity=4)
+        accepted = [daemon.enqueue(self._batch(i * 100)) for i in range(7)]
+        assert accepted == [True] * 4 + [False] * 3
+        assert daemon.batches_dropped == 3
+        assert daemon.queue_depth == 4
+        assert daemon.check_invariants() == []
+        assert daemon.drain(2) == 2
+        assert seen == [0, 100]  # strictly oldest-first
+        assert daemon.drain() == 2
+        assert seen == [0, 100, 200, 300]
+        assert daemon.queue_depth == 0
+        assert daemon.batches_dropped == 3  # drain never touches drops
+
+    def test_drain_uses_deque_and_scales_linearly(self):
+        """A 10k-batch backlog must drain in O(n): the old
+        ``list.pop(0)`` loop was O(n^2) at service queue depths."""
+        from collections import deque
+        import timeit
+
+        daemon = MeasurementDaemon(_CountingMonitor(), queue_capacity=50_000)
+        assert isinstance(daemon._queue, deque)  # structural guarantee
+
+        def backlog_drain_seconds(n_batches):
+            daemon.reset()
+            batch = self._batch(0, n=1)
+            for _ in range(n_batches):
+                daemon.enqueue(batch)
+            seconds = timeit.timeit(daemon.drain, number=1)
+            assert daemon.queue_depth == 0
+            return seconds
+
+        small = backlog_drain_seconds(2_000)
+        large = backlog_drain_seconds(20_000)
+        # Linear drain: 10x the backlog is ~10x the work.  The old
+        # quadratic path is ~100x; 40x splits them with a wide margin
+        # for timer noise on small absolute times.
+        assert large < max(40 * small, 1.0)
+
+    def test_reset_clears_queue(self):
+        daemon = MeasurementDaemon(_CountingMonitor(), queue_capacity=8)
+        daemon.enqueue(self._batch(0))
+        daemon.reset()
+        assert daemon.queue_depth == 0
+        assert daemon.enqueue(self._batch(1))
+
+
 class TestDaemonReset:
     def test_reset_rewinds_ingest_accounting_and_cadence(self, tmp_path):
         """Regression: reset must rewind ``batches_ingested`` and the

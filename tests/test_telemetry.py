@@ -720,3 +720,92 @@ class TestServerLifecycle:
                 proc.kill()
         assert b"CLEAN-EXIT" in out, (out, err)
         assert proc.returncode == 0
+
+
+class TestScrapeConsistency:
+    """The scrape-vs-ingest race (PR 10): exposition renders under the
+    registry lock, so multi-metric updates grouped in
+    ``Telemetry.atomic()`` are observed all-or-nothing."""
+
+    def test_atomic_block_is_invisible_to_snapshot(self):
+        """Deterministic torn-read probe: a snapshot requested while a
+        writer sits *inside* an atomic block must block until the block
+        completes -- the unlocked render at the same instant sees the
+        tear, which is exactly what reverting the registry-lock fix
+        would reintroduce."""
+        import threading
+
+        from repro.telemetry.exposition import _snapshot_locked, snapshot
+
+        telemetry = Telemetry()
+        registry = telemetry.registry
+        mid_update = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with telemetry.atomic():
+                telemetry.count("sibling_a_total")
+                mid_update.set()
+                release.wait(timeout=10)
+                telemetry.count("sibling_b_total")
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        assert mid_update.wait(timeout=10)
+        # The unlocked path (the pre-fix behaviour) observes the tear:
+        torn = _snapshot_locked(registry, None)["metrics"]
+        assert "sibling_a_total" in torn and "sibling_b_total" not in torn
+        # The locked snapshot cannot: it parks until the block closes.
+        threading.Timer(0.2, release.set).start()
+        snap = snapshot(registry)["metrics"]
+        thread.join(timeout=10)
+        assert snap["sibling_a_total"]["samples"][0]["value"] == 1.0
+        assert snap["sibling_b_total"]["samples"][0]["value"] == 1.0
+
+    def test_concurrent_scrape_while_ingesting_stress(self):
+        """Hammer exposition from one thread while another creates
+        families and bumps sibling pairs atomically: every scrape must
+        see equal siblings and never crash on a mutating registry."""
+        import threading
+
+        from repro.telemetry.exposition import snapshot
+
+        telemetry = Telemetry()
+        registry = telemetry.registry
+        stop = threading.Event()
+        problems = []
+
+        def writer():
+            step = 0
+            while not stop.is_set():
+                with telemetry.atomic():
+                    telemetry.count("stress_batches_total", daemon="svc")
+                    telemetry.count("stress_packets_total", 64, daemon="svc")
+                # Family churn: the old unlocked iteration could die on
+                # "dictionary changed size during iteration".
+                telemetry.gauge("stress_gauge_%d" % (step % 97), float(step))
+                step += 1
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(300):
+                try:
+                    snap = snapshot(registry)["metrics"]
+                    render_prometheus(registry)
+                except RuntimeError as exc:  # dict mutated mid-render
+                    problems.append(repr(exc))
+                    break
+                batches = snap.get("stress_batches_total")
+                packets = snap.get("stress_packets_total")
+                if batches is None:
+                    continue
+                b = batches["samples"][0]["value"]
+                p = packets["samples"][0]["value"] if packets else 0.0
+                if p != b * 64:
+                    problems.append("torn pair: batches=%s packets=%s" % (b, p))
+                    break
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not problems, problems
